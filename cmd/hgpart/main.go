@@ -1,0 +1,105 @@
+// Command hgpart partitions a hypergraph file (hMETIS-compatible text
+// format, extended with vertex sizes) with the serial or parallel
+// multilevel partitioner and reports quality metrics.
+//
+// Usage:
+//
+//	hgpart -k 8 [-eps 0.05] [-seed 1] [-ranks 4] [-direct] [-mtx] [-o out.part] input.hgr
+//
+// With -ranks > 1 the parallel partitioner runs on that many in-process
+// ranks. The optional output file receives one part id per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hyperbal/internal/hgp"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/mtx"
+	"hyperbal/internal/partition"
+	"hyperbal/internal/phg"
+)
+
+func main() {
+	var (
+		mtxIn  = flag.Bool("mtx", false, "input is a MatrixMarket file (column-net model)")
+		k      = flag.Int("k", 2, "number of parts")
+		eps    = flag.Float64("eps", 0.05, "allowed imbalance (Eq. 1 epsilon)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		ranks  = flag.Int("ranks", 1, "in-process ranks (>1 uses the parallel partitioner)")
+		direct = flag.Bool("direct", false, "direct k-way instead of recursive bisection")
+		out    = flag.String("o", "", "write part ids to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hgpart [flags] input.hgr")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	check(err)
+	var h *hypergraph.Hypergraph
+	if *mtxIn {
+		m, merr := mtx.Read(bufio.NewReader(f))
+		check(merr)
+		h, err = mtx.ToHypergraph(m)
+	} else {
+		h, err = hypergraph.ReadText(bufio.NewReader(f))
+	}
+	f.Close()
+	check(err)
+
+	stats := hypergraph.ComputeStats(h)
+	fmt.Printf("hypergraph: %d vertices, %d nets, %d pins (avg degree %.1f)\n",
+		stats.NumVertices, stats.NumNets, stats.NumPins, stats.AvgDegree)
+
+	opts := hgp.Options{K: *k, Imbalance: *eps, Seed: *seed, DirectKway: *direct}
+	start := time.Now()
+	var p partition.Partition
+	if *ranks > 1 {
+		err = mpi.Run(*ranks, func(c *mpi.Comm) error {
+			pp, err := phg.Partition(c, h, phg.Options{Serial: opts})
+			if c.Rank() == 0 {
+				p = pp
+			}
+			return err
+		})
+		check(err)
+	} else {
+		p, err = hgp.Partition(h, opts)
+		check(err)
+	}
+	elapsed := time.Since(start)
+
+	w := partition.Weights(h, p)
+	fmt.Printf("k=%d cut=%d cutnets=%d imbalance=%.4f time=%s\n",
+		*k, partition.CutSize(h, p), partition.CutNets(h, p), partition.Imbalance(w), elapsed)
+	for q, ww := range w {
+		fmt.Printf("  part %2d: weight %d\n", q, ww)
+	}
+
+	if *out != "" {
+		of, err := os.Create(*out)
+		check(err)
+		bw := bufio.NewWriter(of)
+		for _, q := range p.Parts {
+			fmt.Fprintln(bw, q)
+		}
+		check(bw.Flush())
+		check(of.Close())
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgpart:", err)
+		os.Exit(1)
+	}
+}

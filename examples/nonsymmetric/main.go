@@ -1,0 +1,138 @@
+// Nonsymmetric: the paper's closing claim — "the full benefit of
+// hypergraph partitioning is realized on unsymmetric and non-square
+// problems that cannot be represented easily with graph models." This
+// example builds a directed dataflow computation (producers feed
+// consumers; dependencies are one-way, like a PageRank sweep or a
+// triangular solve), repartitions it across epochs of drift with both the
+// hypergraph model and the graph baseline (which must symmetrize), and
+// reports the TRUE communication volume each achieves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hyperbal"
+)
+
+const (
+	n      = 2000
+	k      = 8
+	alpha  = 50
+	epochs = 4
+)
+
+func main() {
+	// Directed dependencies: consumer i reads from a few producers. The
+	// hypergraph model is exact: net j = {producer j} ∪ {its consumers},
+	// cost = 1 word per consumer part (connectivity-1).
+	deps := buildDeps(n, 42)
+	h := depsHypergraph(deps)
+	fmt.Printf("directed dataflow: %d tasks, %d dependencies (non-symmetric)\n\n",
+		n, countDeps(deps))
+
+	for _, m := range []hyperbal.Method{hyperbal.HypergraphRepart, hyperbal.GraphRepart} {
+		comm, mig := runEpochs(deps, h, m)
+		fmt.Printf("%-18s  true comm/epoch %6.0f   migration/epoch %6.0f   total(α=%d)/epoch %8.0f\n",
+			m, comm, mig, alpha, float64(alpha)*comm+mig)
+	}
+	fmt.Println("\nThe graph method partitions the symmetrized clique expansion, so it")
+	fmt.Println("optimizes a distorted objective; the hypergraph method optimizes the")
+	fmt.Println("true one-way communication volume directly (paper, Section 6).")
+}
+
+// runEpochs drifts the dependency structure each epoch and repartitions,
+// returning average true communication and migration volumes.
+func runEpochs(deps [][]int, h *hyperbal.Hypergraph, m hyperbal.Method) (avgComm, avgMig float64) {
+	bal, err := hyperbal.NewBalancer(hyperbal.BalancerConfig{
+		K: k, Alpha: alpha, Seed: 7, Method: m,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := hyperbal.Problem{H: h}
+	first, err := bal.Partition(prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	old := first.Partition
+	rng := rand.New(rand.NewSource(99))
+	cur := deps
+	for e := 1; e <= epochs; e++ {
+		cur = drift(cur, rng)
+		h2 := depsHypergraph(cur)
+		res, err := bal.Repartition(hyperbal.Problem{H: h2}, old, int64(e))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// True communication volume is the hypergraph cut regardless of
+		// which model did the partitioning.
+		avgComm += float64(hyperbal.CutSize(h2, res.Partition))
+		avgMig += float64(res.MigrationVolume)
+		old = res.Partition
+	}
+	return avgComm / epochs, avgMig / epochs
+}
+
+// buildDeps creates a layered directed dependency structure with skewed
+// fan-out (a few hot producers), deliberately non-symmetric.
+func buildDeps(n int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	deps := make([][]int, n) // deps[consumer] = producers
+	for i := 1; i < n; i++ {
+		fan := 1 + rng.Intn(3)
+		for f := 0; f < fan; f++ {
+			var p int
+			if rng.Float64() < 0.2 {
+				p = rng.Intn(10) // hot producers
+			} else {
+				p = rng.Intn(i) // any earlier task
+			}
+			deps[i] = append(deps[i], p)
+		}
+	}
+	return deps
+}
+
+// drift rewires ~10% of the dependencies.
+func drift(deps [][]int, rng *rand.Rand) [][]int {
+	out := make([][]int, len(deps))
+	for i, ps := range deps {
+		out[i] = append([]int(nil), ps...)
+		for j := range out[i] {
+			if rng.Float64() < 0.1 && i > 0 {
+				out[i][j] = rng.Intn(i)
+			}
+		}
+	}
+	return out
+}
+
+// depsHypergraph builds the exact column-net model: one net per producer
+// covering the producer and all its consumers.
+func depsHypergraph(deps [][]int) *hyperbal.Hypergraph {
+	n := len(deps)
+	consumers := make([][]int, n)
+	for i, ps := range deps {
+		for _, p := range ps {
+			consumers[p] = append(consumers[p], i)
+		}
+	}
+	b := hyperbal.NewHypergraphBuilder(n)
+	for p, cs := range consumers {
+		if len(cs) == 0 {
+			continue
+		}
+		b.AddNet(1, append([]int{p}, cs...)...)
+	}
+	return b.Build()
+}
+
+func countDeps(deps [][]int) int {
+	t := 0
+	for _, ps := range deps {
+		t += len(ps)
+	}
+	return t
+}

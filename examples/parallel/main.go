@@ -1,0 +1,139 @@
+// Parallel: run the parallel multilevel hypergraph partitioner with fixed
+// vertices on an SPMD world (the paper's Section 4 contribution), then
+// execute the resulting data migration plan rank-to-rank, and report the
+// partitioner's own communication footprint.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"hyperbal"
+)
+
+const (
+	ranks = 8
+	alpha = 20
+)
+
+func main() {
+	mesh, err := hyperbal.GenerateDataset("cage14", 4000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := hyperbal.GraphToHypergraph(mesh)
+	fmt.Printf("problem: %d vertices, %d nets; %d ranks (one part per rank)\n",
+		h.NumVertices(), h.NumNets(), ranks)
+
+	// Phase 1: parallel static partitioning.
+	var old hyperbal.Partition
+	var mu sync.Mutex
+	stats, err := hyperbal.RunWorldStats(ranks, func(c *hyperbal.Comm) error {
+		p, err := hyperbal.ParallelPartitionHypergraph(c, h, hyperbal.PHGOptions{
+			Serial: hyperbal.HGPOptions{K: ranks, Imbalance: 0.05, Seed: 17},
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			old = p
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static partition: cut=%d imbalance=%.3f\n",
+		hyperbal.CutSize(h, old),
+		hyperbal.Imbalance(hyperbal.PartWeights(h, old)))
+	fmt.Printf("partitioner traffic: %d messages, %d bytes\n",
+		stats.Messages.Load(), stats.Bytes.Load())
+
+	// Phase 2: the problem drifts (weights change); build the augmented
+	// repartitioning hypergraph and solve it in parallel with its fixed
+	// partition vertices.
+	drift := hyperbal.NewHypergraphBuilder(h.NumVertices())
+	for v := 0; v < h.NumVertices(); v++ {
+		w := h.Weight(v)
+		if v%7 == 0 {
+			w *= 3
+		}
+		drift.SetWeight(v, w)
+		drift.SetSize(v, h.Size(v))
+	}
+	for nID := 0; nID < h.NumNets(); nID++ {
+		pins := h.Pins(nID)
+		ip := make([]int, len(pins))
+		for i, q := range pins {
+			ip[i] = int(q)
+		}
+		drift.AddNet(h.Cost(nID), ip...)
+	}
+	h2 := drift.Build()
+
+	r, err := hyperbal.BuildRepartition(h2, old, ranks, alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var next hyperbal.Partition
+	err = hyperbal.RunWorld(ranks, func(c *hyperbal.Comm) error {
+		aug, err := hyperbal.ParallelPartitionHypergraph(c, r.H, hyperbal.PHGOptions{
+			Serial: hyperbal.HGPOptions{K: ranks, Imbalance: 0.05, Seed: 19},
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			p, mig, err := r.Decode(h2, aug)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			next = p
+			mu.Unlock()
+			fmt.Printf("repartition (α=%d): comm=%d migration=%d (moved %d vertices)\n",
+				alpha, hyperbal.CutSize(h2, p), mig.Volume, mig.Moved)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 3: actually move the data.
+	plan, err := hyperbal.NewMigrationPlan(h2, old, next)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stores := buildStores(h2, old)
+	var received int64
+	err = hyperbal.RunWorld(ranks, func(c *hyperbal.Comm) error {
+		got, err := hyperbal.ExecuteMigration(c, plan, stores[c.Rank()])
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		received += int64(got)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migration executed: %d vertices relocated (plan volume %d, max inbound %d)\n",
+		received, plan.TotalVolume(), plan.MaxInbound())
+}
+
+func buildStores(h *hyperbal.Hypergraph, owner hyperbal.Partition) []hyperbal.VertexStore {
+	stores := make([]hyperbal.VertexStore, owner.K)
+	for i := range stores {
+		stores[i] = make(hyperbal.VertexStore)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		stores[owner.Of(v)][int32(v)] = make([]byte, h.Size(v))
+	}
+	return stores
+}

@@ -1,0 +1,3 @@
+module hyperbal
+
+go 1.22

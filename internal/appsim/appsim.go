@@ -1,0 +1,184 @@
+// Package appsim simulates the adaptive application the load balancer
+// serves: an iterative halo-exchange computation running SPMD over the
+// mpi substrate, with each rank owning one part's vertices. Every
+// iteration, each cut net's data travels from the part that owns the net
+// to every other part the net touches — exactly (λ-1) transfers of the
+// net's cost, so the measured per-iteration traffic must equal the
+// connectivity-1 cut (Eq. 2). This closes the loop on the paper's premise
+// that the hypergraph cut *is* the application's communication volume,
+// and provides measured (not modeled) t_comm / t_mig for experiments.
+package appsim
+
+import (
+	"fmt"
+
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/migrate"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/partition"
+)
+
+// Result summarizes a simulated epoch.
+type Result struct {
+	Iterations int
+	// WordsPerIteration is the measured number of data words exchanged in
+	// one iteration, summed over all ranks. Equals CutSize(h, p) when the
+	// partition's cut accounting is correct.
+	WordsPerIteration int64
+	// TotalWords = Iterations * WordsPerIteration.
+	TotalWords int64
+	// MaxRankSend is the busiest rank's per-iteration send volume (the
+	// communication bottleneck).
+	MaxRankSend int64
+	// MigratedWords is the measured migration volume executed before the
+	// epoch (0 if no migration was requested).
+	MigratedWords int64
+}
+
+// Epoch runs one epoch on an existing communicator: optionally migrate
+// from old to p, then perform iterations of halo exchange under p. Every
+// rank must call it; the communicator size must equal p.K. The identical
+// Result is returned on every rank.
+func Epoch(c *mpi.Comm, h *hypergraph.Hypergraph, old *partition.Partition, p partition.Partition, iterations int) (Result, error) {
+	if c.Size() != p.K {
+		return Result{}, fmt.Errorf("appsim: partition has %d parts, world has %d ranks", p.K, c.Size())
+	}
+	var res Result
+	res.Iterations = iterations
+
+	// Optional migration phase, with real payload movement.
+	if old != nil {
+		stores := buildLocalStore(h, *old, c.Rank())
+		plan, err := migrate.NewPlan(h, *old, p)
+		if err != nil {
+			return Result{}, err
+		}
+		if _, err := migrate.Execute(c, plan, stores); err != nil {
+			return Result{}, err
+		}
+		res.MigratedWords = plan.TotalVolume()
+	}
+
+	// Precompute this rank's per-destination send schedule: for every net
+	// owned by this rank (owner = part of the net's first pin), one block
+	// of cost words to each other part the net touches.
+	me := int32(c.Rank())
+	sendTo := make([]int64, p.K) // words per destination per iteration
+	mark := make([]bool, p.K)
+	for n := 0; n < h.NumNets(); n++ {
+		pins := h.Pins(n)
+		if len(pins) == 0 {
+			continue
+		}
+		owner := p.Parts[pins[0]]
+		if owner != me {
+			continue
+		}
+		touched := touchedParts(p, pins, mark)
+		for _, q := range touched {
+			if q != me {
+				sendTo[q] += h.Cost(n)
+			}
+		}
+	}
+	var mySend int64
+	for _, w := range sendTo {
+		mySend += w
+	}
+
+	// Who sends to me is symmetric knowledge: every rank can compute the
+	// full schedule from (h, p), so receives are posted deterministically.
+	recvFrom := make([]int64, p.K)
+	for q := 0; q < p.K; q++ {
+		if int32(q) != me {
+			recvFrom[q] = wordsFromTo(h, p, int32(q), me, mark)
+		}
+	}
+
+	// Run the iterations: one message per destination per iteration,
+	// payload sized by the schedule ([]int64, one element per data word).
+	const tag = 7001
+	for it := 0; it < iterations; it++ {
+		for q := 0; q < p.K; q++ {
+			if int32(q) == me || sendTo[q] == 0 {
+				continue
+			}
+			c.Send(q, tag, make([]int64, sendTo[q]))
+		}
+		for q := 0; q < p.K; q++ {
+			if int32(q) != me && recvFrom[q] > 0 {
+				c.Recv(q, tag)
+			}
+		}
+	}
+
+	res.WordsPerIteration = mpi.Allreduce(c, mySend, mpi.SumInt64)
+	res.TotalWords = res.WordsPerIteration * int64(iterations)
+	res.MaxRankSend = mpi.Allreduce(c, mySend, mpi.MaxInt64)
+	return res, nil
+}
+
+// Simulate is the single-call convenience wrapper: it spins up a world
+// with one rank per part and runs Epoch.
+func Simulate(h *hypergraph.Hypergraph, old *partition.Partition, p partition.Partition, iterations int) (Result, error) {
+	var out Result
+	err := mpi.Run(p.K, func(c *mpi.Comm) error {
+		r, err := Epoch(c, h, old, p, iterations)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = r
+		}
+		return nil
+	})
+	return out, err
+}
+
+// touchedParts lists the distinct parts net pins touch; mark must be a
+// zeroed scratch of length K and is re-zeroed before return.
+func touchedParts(p partition.Partition, pins []int32, mark []bool) []int32 {
+	var touched []int32
+	for _, v := range pins {
+		q := p.Parts[v]
+		if !mark[q] {
+			mark[q] = true
+			touched = append(touched, q)
+		}
+	}
+	for _, q := range touched {
+		mark[q] = false
+	}
+	return touched
+}
+
+// wordsFromTo computes the per-iteration words rank `from` sends rank `to`
+// under the deterministic owner-sends schedule.
+func wordsFromTo(h *hypergraph.Hypergraph, p partition.Partition, from, to int32, mark []bool) int64 {
+	var words int64
+	for n := 0; n < h.NumNets(); n++ {
+		pins := h.Pins(n)
+		if len(pins) == 0 || p.Parts[pins[0]] != from {
+			continue
+		}
+		touched := touchedParts(p, pins, mark)
+		for _, q := range touched {
+			if q == to {
+				words += h.Cost(n)
+			}
+		}
+	}
+	return words
+}
+
+// buildLocalStore creates this rank's owned payloads (one byte per size
+// unit).
+func buildLocalStore(h *hypergraph.Hypergraph, owner partition.Partition, rank int) migrate.Store {
+	store := make(migrate.Store)
+	for v := 0; v < h.NumVertices(); v++ {
+		if owner.Of(v) == rank {
+			store[int32(v)] = make([]byte, h.Size(v))
+		}
+	}
+	return store
+}

@@ -1,0 +1,151 @@
+package appsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperbal/internal/hgp"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/partition"
+)
+
+func randomHG(rng *rand.Rand, n, nets int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetSize(v, int64(1+rng.Intn(3)))
+	}
+	for i := 0; i < nets; i++ {
+		sz := 2 + rng.Intn(4)
+		if sz > n {
+			sz = n
+		}
+		b.AddNet(int64(1+rng.Intn(3)), rng.Perm(n)[:sz]...)
+	}
+	return b.Build()
+}
+
+// The headline invariant: measured per-iteration traffic equals the
+// connectivity-1 cut.
+func TestMeasuredCommEqualsCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		n := 30 + rng.Intn(60)
+		k := 2 + rng.Intn(4)
+		h := randomHG(rng, n, 2*n)
+		p := partition.Partition{K: k, Parts: make([]int32, n)}
+		for v := range p.Parts {
+			p.Parts[v] = int32(rng.Intn(k))
+		}
+		res, err := Simulate(h, nil, p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := partition.CutSize(h, p)
+		if res.WordsPerIteration != want {
+			t.Fatalf("trial %d: measured %d words/iter, cut is %d", trial, res.WordsPerIteration, want)
+		}
+		if res.TotalWords != 3*want {
+			t.Fatalf("trial %d: total %d, want %d", trial, res.TotalWords, 3*want)
+		}
+		if res.MaxRankSend > res.WordsPerIteration {
+			t.Fatalf("max rank send %d exceeds total %d", res.MaxRankSend, res.WordsPerIteration)
+		}
+	}
+}
+
+func TestEpochWithMigration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 40, 4
+	h := randomHG(rng, n, 60)
+	old := partition.Partition{K: k, Parts: make([]int32, n)}
+	p := partition.Partition{K: k, Parts: make([]int32, n)}
+	for v := 0; v < n; v++ {
+		old.Parts[v] = int32(v % k)
+		p.Parts[v] = int32((v + v%3) % k)
+	}
+	res, err := Simulate(h, &old, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MigratedWords != partition.MigrationVolume(h, old, p) {
+		t.Fatalf("measured migration %d != metric %d",
+			res.MigratedWords, partition.MigrationVolume(h, old, p))
+	}
+}
+
+func TestEpochWorldSizeMismatch(t *testing.T) {
+	h := randomHG(rand.New(rand.NewSource(5)), 10, 10)
+	p := partition.New(10, 3)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		_, err := Epoch(c, h, nil, p, 1)
+		if err == nil {
+			t.Error("expected size mismatch error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// After partitioning, the simulated application's traffic should drop
+// relative to a random assignment — the whole point of the exercise.
+func TestPartitioningReducesMeasuredTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// ring-of-cliques structure with clear locality
+	n := 80
+	b := hypergraph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddNet(1, v, (v+1)%n)
+		if v%4 == 0 {
+			b.AddNet(1, v, (v+2)%n, (v+3)%n)
+		}
+	}
+	h := b.Build()
+	k := 4
+	random := partition.Partition{K: k, Parts: make([]int32, n)}
+	for v := range random.Parts {
+		random.Parts[v] = int32(rng.Intn(k))
+	}
+	good, err := hgp.Partition(h, hgp.Options{K: k, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRandom, err := Simulate(h, nil, random, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resGood, err := Simulate(h, nil, good, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGood.WordsPerIteration >= resRandom.WordsPerIteration {
+		t.Fatalf("partitioned traffic %d not below random %d",
+			resGood.WordsPerIteration, resRandom.WordsPerIteration)
+	}
+}
+
+// Property: the measured-equals-cut identity holds for arbitrary
+// hypergraphs and partitions.
+func TestQuickMeasuredEqualsCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		k := 2 + rng.Intn(3)
+		h := randomHG(rng, n, n)
+		p := partition.Partition{K: k, Parts: make([]int32, n)}
+		for v := range p.Parts {
+			p.Parts[v] = int32(rng.Intn(k))
+		}
+		res, err := Simulate(h, nil, p, 1)
+		if err != nil {
+			return false
+		}
+		return res.WordsPerIteration == partition.CutSize(h, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/partition"
+)
+
+// mesh returns the hypergraph + graph pair of a w x h grid, the shape of
+// problem the paper's datasets model (structurally symmetric).
+func mesh(w, h int) Problem {
+	b := graph.NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1), 1)
+			}
+		}
+	}
+	g := b.Build()
+	return Problem{H: graph.ToHypergraph(g), G: g}
+}
+
+func TestBalancerStaticAllMethods(t *testing.T) {
+	p := mesh(16, 16)
+	for _, m := range Methods {
+		b, err := NewBalancer(Config{K: 4, Alpha: 10, Seed: 1, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Partition(p)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := res.Partition.Validate(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		w := partition.Weights(p.H, res.Partition)
+		if !partition.IsBalanced(w, 0.15) {
+			t.Fatalf("%v: imbalanced %v", m, w)
+		}
+		if res.CommVolume <= 0 || res.CommVolume > 200 {
+			t.Fatalf("%v: suspicious comm volume %d", m, res.CommVolume)
+		}
+		if res.MigrationVolume != 0 {
+			t.Fatalf("%v: static partition reported migration", m)
+		}
+	}
+}
+
+func TestBalancerRepartitionAllMethods(t *testing.T) {
+	p := mesh(16, 16)
+	for _, m := range Methods {
+		b, err := NewBalancer(Config{K: 4, Alpha: 10, Seed: 2, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := b.Partition(p)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		res, err := b.Repartition(p, first.Partition, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := res.Partition.Validate(); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		// Unchanged problem: repartitioning should not blow up migration;
+		// for the repart methods it should move little.
+		if m == HypergraphRepart || m == GraphRepart {
+			if res.MigrationVolume > p.H.TotalSize()/4 {
+				t.Fatalf("%v: moved %d of %d on an unchanged problem", m, res.MigrationVolume, p.H.TotalSize())
+			}
+		}
+		if res.TotalCost(10) != 10*res.CommVolume+res.MigrationVolume {
+			t.Fatalf("%v: TotalCost identity broken", m)
+		}
+	}
+}
+
+// The headline behaviour at alpha=1: repartitioning must beat
+// partition-from-scratch on total cost when the problem barely changed.
+func TestRepartBeatsScratchAtLowAlpha(t *testing.T) {
+	p := mesh(20, 20)
+	mkBalancer := func(m Method) *Balancer {
+		b, err := NewBalancer(Config{K: 8, Alpha: 1, Seed: 5, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := mkBalancer(HypergraphRepart)
+	first, err := base.Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb vertex weights slightly (simulating drift).
+	rng := rand.New(rand.NewSource(7))
+	hb := hypergraph.NewBuilder(p.H.NumVertices())
+	for v := 0; v < p.H.NumVertices(); v++ {
+		w := p.H.Weight(v)
+		if rng.Float64() < 0.1 {
+			w *= 2
+		}
+		hb.SetWeight(v, w)
+		hb.SetSize(v, p.H.Size(v))
+	}
+	for n := 0; n < p.H.NumNets(); n++ {
+		pins := p.H.Pins(n)
+		ip := make([]int, len(pins))
+		for i, q := range pins {
+			ip[i] = int(q)
+		}
+		hb.AddNet(p.H.Cost(n), ip...)
+	}
+	p2 := Problem{H: hb.Build()}
+
+	repart, err := mkBalancer(HypergraphRepart).Repartition(p2, first.Partition, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := mkBalancer(HypergraphScratch).Repartition(p2, first.Partition, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repart.TotalCost(1) >= scratch.TotalCost(1) {
+		t.Fatalf("at alpha=1 repart (%d) should beat scratch (%d)",
+			repart.TotalCost(1), scratch.TotalCost(1))
+	}
+	if repart.MigrationVolume >= scratch.MigrationVolume {
+		t.Fatalf("repart migration %d should be below scratch %d",
+			repart.MigrationVolume, scratch.MigrationVolume)
+	}
+}
+
+func TestBalancerGraphDerivation(t *testing.T) {
+	// Graph-based methods must work when only H is supplied.
+	p := mesh(10, 10)
+	p.G = nil
+	b, err := NewBalancer(Config{K: 4, Alpha: 10, Seed: 3, Method: GraphRepart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := b.Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Repartition(p, first.Partition, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancerConfigValidation(t *testing.T) {
+	if _, err := NewBalancer(Config{K: 0}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	b, err := NewBalancer(Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Config().Alpha != 1 || b.Config().Imbalance != 0.05 {
+		t.Fatalf("defaults not applied: %+v", b.Config())
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		HypergraphRepart:  "Zoltan-repart",
+		HypergraphScratch: "Zoltan-scratch",
+		GraphRepart:       "ParMETIS-repart",
+		GraphScratch:      "ParMETIS-scratch",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method should stringify")
+	}
+}
+
+func TestRefineOnlyAblation(t *testing.T) {
+	// The A2 ablation method must produce valid partitions, never move
+	// more than it gains, and generally lose to the full model on total
+	// cost (the Section 1 claim). We assert validity plus the model
+	// inequality on the method's own objective.
+	p := mesh(16, 16)
+	mk := func(m Method) *Balancer {
+		b, err := NewBalancer(Config{K: 4, Alpha: 10, Seed: 21, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first, err := mk(HypergraphRepart).Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the old partition to give refinement something to do.
+	old := first.Partition.Clone()
+	for v := 0; v < 40; v++ {
+		old.Parts[v*5%256] = int32(v % 4)
+	}
+	oldCost := 10*partition.CutSize(p.H, old) + 0 // staying put has zero migration
+	ro, err := mk(HypergraphRefineOnly).Repartition(p, old, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ro.TotalCost(10) > oldCost {
+		t.Fatalf("refine-only worsened the combined objective: %d > %d", ro.TotalCost(10), oldCost)
+	}
+	full, err := mk(HypergraphRepart).Repartition(p, old, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("A2: full model total %d vs refine-only %d (α=10)", full.TotalCost(10), ro.TotalCost(10))
+	if name := HypergraphRefineOnly.String(); name != "Zoltan-refineonly" {
+		t.Fatalf("name: %s", name)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperbal/internal/partition"
+)
+
+// Session manages the epoch lifecycle of an adaptive application: it owns
+// the current distribution, decides when rebalancing is worthwhile (the
+// "even if the original problem is well balanced ... the computation may
+// become unbalanced over time" motivation of Section 1), and accumulates
+// per-epoch results for the t_tot accounting.
+type Session struct {
+	bal   *Balancer
+	cur   partition.Partition
+	epoch int64
+
+	// Threshold is the imbalance above which ShouldRebalance fires
+	// (default: 2x the balancer's epsilon).
+	Threshold float64
+
+	// History records every load-balance operation of the session.
+	History []Result
+}
+
+// NewSession computes the epoch-1 static partition of the problem and
+// returns the running session.
+func NewSession(bal *Balancer, p Problem) (*Session, Result, error) {
+	res, err := bal.Partition(p)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	s := &Session{
+		bal:       bal,
+		cur:       res.Partition.Clone(),
+		Threshold: 2 * bal.Config().Imbalance,
+	}
+	s.History = append(s.History, res)
+	return s, res, nil
+}
+
+// Current returns the session's current distribution.
+func (s *Session) Current() partition.Partition { return s.cur }
+
+// Epoch returns the number of completed load-balance operations after the
+// initial partition.
+func (s *Session) Epoch() int64 { return s.epoch }
+
+// ShouldRebalance reports whether the current distribution has drifted out
+// of balance on the (possibly weight-updated) problem. It requires an
+// unchanged vertex set; structural changes always warrant Rebalance with
+// an inherited partition.
+func (s *Session) ShouldRebalance(p Problem) (bool, error) {
+	if p.H.NumVertices() != len(s.cur.Parts) {
+		return true, nil // structure changed: rebalance unconditionally
+	}
+	w := partition.Weights(p.H, s.cur)
+	return partition.Imbalance(w) > s.Threshold, nil
+}
+
+// Rebalance repartitions the problem against the session's current
+// distribution (unchanged vertex set) and installs the result.
+func (s *Session) Rebalance(p Problem) (Result, error) {
+	if p.H.NumVertices() != len(s.cur.Parts) {
+		return Result{}, fmt.Errorf("core: vertex set changed (%d -> %d); use RebalanceInherited with the epoch's inherited partition",
+			len(s.cur.Parts), p.H.NumVertices())
+	}
+	return s.rebalance(p, s.cur)
+}
+
+// RebalanceInherited repartitions a structurally changed problem given the
+// inherited assignment over the new vertex set (e.g. from a dynamics
+// generator) and installs the result.
+func (s *Session) RebalanceInherited(p Problem, inherited partition.Partition) (Result, error) {
+	if len(inherited.Parts) != p.H.NumVertices() {
+		return Result{}, fmt.Errorf("core: inherited partition covers %d vertices, problem has %d",
+			len(inherited.Parts), p.H.NumVertices())
+	}
+	return s.rebalance(p, inherited)
+}
+
+func (s *Session) rebalance(p Problem, old partition.Partition) (Result, error) {
+	s.epoch++
+	res, err := s.bal.Repartition(p, old, s.epoch)
+	if err != nil {
+		s.epoch--
+		return Result{}, err
+	}
+	s.cur = res.Partition.Clone()
+	s.History = append(s.History, res)
+	return res, nil
+}
+
+// TotalCost sums α·comm + mig over the session's history (the objective
+// the paper minimizes, accumulated over the whole run).
+func (s *Session) TotalCost(alpha int64) int64 {
+	var t int64
+	for _, r := range s.History {
+		t += r.TotalCost(alpha)
+	}
+	return t
+}

@@ -1,0 +1,305 @@
+// Package dhg provides a distributed hypergraph: vertices are
+// block-distributed over the ranks of a communicator and every net lives
+// on the rank owning its first pin. This mirrors how Zoltan stores
+// hypergraphs across MPI processes — no rank holds the whole structure —
+// and exercises the request/response ghost-exchange pattern that
+// distributed-memory partitioners are built from.
+//
+// Supported distributed operations: scatter from a root-held hypergraph,
+// gather back, global statistics via reductions, and a fully distributed
+// connectivity-1 cut: each rank resolves the parts of its ghost pins by a
+// two-phase id-request/part-response exchange, computes its owned nets'
+// contributions, and a reduction produces the global cut on every rank —
+// bit-identical to the serial partition.CutSize.
+package dhg
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+)
+
+// DH is one rank's share of a distributed hypergraph.
+type DH struct {
+	c *mpi.Comm
+
+	globalV int
+	lo, hi  int // owned vertex block [lo, hi)
+
+	weights []int64 // local block attrs, index v-lo
+	sizes   []int64
+
+	// owned nets (owner = rank of first pin), pins hold global vertex ids
+	netCosts []int64
+	netPins  [][]int32
+}
+
+const (
+	tagVtx = 9100 + iota
+	tagNets
+	tagReq
+	tagResp
+)
+
+type netMsg struct {
+	Cost int64
+	Pins []int32
+}
+
+// blockRange mirrors the partitioners' 1D block distribution.
+func blockRange(n, size, r int) (int, int) {
+	per := n / size
+	rem := n % size
+	lo := r*per + minInt(r, rem)
+	hi := lo + per
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ownerOf returns the rank owning global vertex v.
+func ownerOf(v, n, size int) int {
+	// invert blockRange: scan is O(size); size is small.
+	for r := 0; r < size; r++ {
+		lo, hi := blockRange(n, size, r)
+		if v >= lo && v < hi {
+			return r
+		}
+	}
+	return -1
+}
+
+// Distribute scatters a hypergraph held by root across the communicator.
+// Every rank calls it; only root's h is read (others may pass nil). Each
+// rank receives its vertex block and the nets it owns.
+func Distribute(c *mpi.Comm, root int, h *hypergraph.Hypergraph) (*DH, error) {
+	type vtxMsg struct {
+		GlobalV int
+		Weights []int64
+		Sizes   []int64
+	}
+	d := &DH{c: c}
+	if c.Rank() == root {
+		if h == nil {
+			return nil, fmt.Errorf("dhg: root must supply the hypergraph")
+		}
+		n := h.NumVertices()
+		// vertex blocks
+		for r := 0; r < c.Size(); r++ {
+			lo, hi := blockRange(n, c.Size(), r)
+			msg := vtxMsg{GlobalV: n,
+				Weights: make([]int64, hi-lo),
+				Sizes:   make([]int64, hi-lo)}
+			for v := lo; v < hi; v++ {
+				msg.Weights[v-lo] = h.Weight(v)
+				msg.Sizes[v-lo] = h.Size(v)
+			}
+			if r == root {
+				d.globalV = n
+				d.lo, d.hi = lo, hi
+				d.weights, d.sizes = msg.Weights, msg.Sizes
+			} else {
+				c.Send(r, tagVtx, msg)
+			}
+		}
+		// nets to their owners
+		perRank := make([][]netMsg, c.Size())
+		for netID := 0; netID < h.NumNets(); netID++ {
+			pins := h.Pins(netID)
+			if len(pins) == 0 {
+				continue
+			}
+			owner := ownerOf(int(pins[0]), n, c.Size())
+			perRank[owner] = append(perRank[owner], netMsg{
+				Cost: h.Cost(netID),
+				Pins: append([]int32(nil), pins...),
+			})
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				for _, m := range perRank[r] {
+					d.netCosts = append(d.netCosts, m.Cost)
+					d.netPins = append(d.netPins, m.Pins)
+				}
+			} else {
+				c.Send(r, tagNets, perRank[r])
+			}
+		}
+	} else {
+		msg := c.Recv(root, tagVtx).(vtxMsg)
+		d.globalV = msg.GlobalV
+		d.lo, d.hi = blockRange(msg.GlobalV, c.Size(), c.Rank())
+		d.weights, d.sizes = msg.Weights, msg.Sizes
+		for _, m := range c.Recv(root, tagNets).([]netMsg) {
+			d.netCosts = append(d.netCosts, m.Cost)
+			d.netPins = append(d.netPins, m.Pins)
+		}
+	}
+	return d, nil
+}
+
+// GlobalVertices returns |V| of the distributed hypergraph.
+func (d *DH) GlobalVertices() int { return d.globalV }
+
+// LocalRange returns the owned vertex block [lo, hi).
+func (d *DH) LocalRange() (int, int) { return d.lo, d.hi }
+
+// LocalNets returns the number of nets owned by this rank.
+func (d *DH) LocalNets() int { return len(d.netCosts) }
+
+// GlobalStats computes global vertex/net/pin counts and weight totals via
+// reductions; identical on every rank.
+type GlobalStats struct {
+	NumVertices, NumNets, NumPins int
+	TotalWeight, TotalSize        int64
+	TotalCost                     int64
+}
+
+// Stats reduces the per-rank contributions into global statistics.
+func (d *DH) Stats() GlobalStats {
+	var localPins, localW, localS, localC int64
+	for i := range d.netPins {
+		localPins += int64(len(d.netPins[i]))
+		localC += d.netCosts[i]
+	}
+	for i := range d.weights {
+		localW += d.weights[i]
+		localS += d.sizes[i]
+	}
+	totals := mpi.AllreduceSlice(d.c,
+		[]int64{int64(len(d.netCosts)), localPins, localW, localS, localC},
+		mpi.SumInt64)
+	return GlobalStats{
+		NumVertices: d.globalV,
+		NumNets:     int(totals[0]),
+		NumPins:     int(totals[1]),
+		TotalWeight: totals[2],
+		TotalSize:   totals[3],
+		TotalCost:   totals[4],
+	}
+}
+
+// CutSize computes the global connectivity-1 cut of a distributed
+// partition: localParts[i] is the part of vertex lo+i. Ghost pin parts are
+// fetched from their owners with an id-request / part-response exchange;
+// the per-rank contributions are then summed with a reduction. Every rank
+// returns the identical global cut.
+func (d *DH) CutSize(localParts []int32, k int) (int64, error) {
+	if len(localParts) != d.hi-d.lo {
+		return 0, fmt.Errorf("dhg: localParts covers %d vertices, block has %d", len(localParts), d.hi-d.lo)
+	}
+	ghostParts, err := d.resolveGhosts(localParts)
+	if err != nil {
+		return 0, err
+	}
+	partOf := func(v int32) int32 {
+		if int(v) >= d.lo && int(v) < d.hi {
+			return localParts[int(v)-d.lo]
+		}
+		return ghostParts[v]
+	}
+	mark := make([]bool, k)
+	var local int64
+	for i, pins := range d.netPins {
+		lambda := 0
+		for _, v := range pins {
+			q := partOf(v)
+			if !mark[q] {
+				mark[q] = true
+				lambda++
+			}
+		}
+		for _, v := range pins {
+			mark[partOf(v)] = false
+		}
+		if lambda > 1 {
+			local += d.netCosts[i] * int64(lambda-1)
+		}
+	}
+	return mpi.Allreduce(d.c, local, mpi.SumInt64), nil
+}
+
+// resolveGhosts fetches the parts of all non-local pins of owned nets.
+func (d *DH) resolveGhosts(localParts []int32) (map[int32]int32, error) {
+	need := make(map[int32]struct{})
+	for _, pins := range d.netPins {
+		for _, v := range pins {
+			if int(v) < d.lo || int(v) >= d.hi {
+				need[v] = struct{}{}
+			}
+		}
+	}
+	// Group requests by owner, deterministically ordered.
+	reqs := make([][]int32, d.c.Size())
+	for v := range need {
+		owner := ownerOf(int(v), d.globalV, d.c.Size())
+		if owner < 0 {
+			return nil, fmt.Errorf("dhg: pin %d outside global range %d", v, d.globalV)
+		}
+		reqs[owner] = append(reqs[owner], v)
+	}
+	for r := range reqs {
+		sort.Slice(reqs[r], func(i, j int) bool { return reqs[r][i] < reqs[r][j] })
+	}
+	// Phase 1: exchange requested ids. Phase 2: answer with parts.
+	incoming := mpi.Alltoall(d.c, reqs)
+	answers := make([][]int32, d.c.Size())
+	for r, ids := range incoming {
+		answers[r] = make([]int32, len(ids))
+		for i, v := range ids {
+			if int(v) < d.lo || int(v) >= d.hi {
+				return nil, fmt.Errorf("dhg: rank %d asked rank %d for non-owned vertex %d", r, d.c.Rank(), v)
+			}
+			answers[r][i] = localParts[int(v)-d.lo]
+		}
+	}
+	replies := mpi.Alltoall(d.c, answers)
+	ghost := make(map[int32]int32, len(need))
+	for r, parts := range replies {
+		for i, p := range parts {
+			ghost[reqs[r][i]] = p
+		}
+	}
+	return ghost, nil
+}
+
+// Gather reassembles the distributed hypergraph on root (inverse of
+// Distribute); other ranks return nil. Net order may differ from the
+// original; pins, costs and vertex attributes are preserved.
+func (d *DH) Gather(root int) *hypergraph.Hypergraph {
+	type rankData struct {
+		Lo      int
+		Weights []int64
+		Sizes   []int64
+		Nets    []netMsg
+	}
+	nets := make([]netMsg, len(d.netCosts))
+	for i := range nets {
+		nets[i] = netMsg{Cost: d.netCosts[i], Pins: d.netPins[i]}
+	}
+	all := mpi.Gather(d.c, root, rankData{Lo: d.lo, Weights: d.weights, Sizes: d.sizes, Nets: nets})
+	if d.c.Rank() != root {
+		return nil
+	}
+	b := hypergraph.NewBuilder(d.globalV)
+	for _, rd := range all {
+		for i := range rd.Weights {
+			b.SetWeight(rd.Lo+i, rd.Weights[i])
+			b.SetSize(rd.Lo+i, rd.Sizes[i])
+		}
+		for _, nm := range rd.Nets {
+			b.AddNetInt32(nm.Cost, nm.Pins)
+		}
+	}
+	return b.Build()
+}

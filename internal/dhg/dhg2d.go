@@ -1,0 +1,201 @@
+package dhg
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+)
+
+// DH2D is one rank's share of a 2D-distributed hypergraph: the processor
+// grid is px × py, nets are blocked over the px grid rows and vertices
+// over the py grid columns, and rank (i,j) stores the pins of row-block i
+// restricted to column-block j — a block of the net×vertex incidence
+// matrix. This is the layout Zoltan's parallel hypergraph partitioner
+// uses ("Zoltan uses a two-dimensional data distribution", §4.1); the
+// package provides it with distributed statistics and a fully distributed
+// connectivity-1 cut whose row-wise OR-reduction of part masks mirrors
+// how 2D codes compute net connectivity.
+type DH2D struct {
+	c      *mpi.Comm
+	row    *mpi.Comm // ranks sharing my net row-block (fixed i, varying j)
+	px, py int
+	i, j   int // my grid coordinates
+
+	globalV, globalN int
+	vLo, vHi         int // my vertex column block
+	nLo, nHi         int // my net row block
+
+	weights []int64 // vertex attrs for my column block (replicated down the column)
+	sizes   []int64
+
+	netCosts []int64   // costs of my row block's nets (replicated across the row)
+	netPins  [][]int32 // local pins (global vertex ids within [vLo,vHi)) per net of my row block
+	netSize  []int32   // GLOBAL pin count per net of my row block
+}
+
+const (
+	tag2DMeta = 9200 + iota
+	tag2DBlock
+)
+
+// Distribute2D scatters a hypergraph held by root across a px × py grid.
+// px*py must equal the communicator size. Rank r sits at grid position
+// (r/py, r%py).
+func Distribute2D(c *mpi.Comm, root int, h *hypergraph.Hypergraph, px, py int) (*DH2D, error) {
+	if px*py != c.Size() {
+		return nil, fmt.Errorf("dhg: grid %dx%d needs %d ranks, world has %d", px, py, px*py, c.Size())
+	}
+	d := &DH2D{c: c, px: px, py: py, i: c.Rank() / py, j: c.Rank() % py}
+
+	type meta struct{ V, N int }
+	type block struct {
+		Weights, Sizes []int64
+		NetCosts       []int64
+		NetPins        [][]int32
+		NetSize        []int32
+	}
+	if c.Rank() == root {
+		if h == nil {
+			return nil, fmt.Errorf("dhg: root must supply the hypergraph")
+		}
+		m := meta{V: h.NumVertices(), N: h.NumNets()}
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tag2DMeta, m)
+			}
+		}
+		applyMeta(d, m)
+		for r := 0; r < c.Size(); r++ {
+			ri, rj := r/py, r%py
+			nLo, nHi := blockRange(h.NumNets(), px, ri)
+			vLo, vHi := blockRange(h.NumVertices(), py, rj)
+			b := block{
+				Weights:  make([]int64, vHi-vLo),
+				Sizes:    make([]int64, vHi-vLo),
+				NetCosts: make([]int64, nHi-nLo),
+				NetPins:  make([][]int32, nHi-nLo),
+				NetSize:  make([]int32, nHi-nLo),
+			}
+			for v := vLo; v < vHi; v++ {
+				b.Weights[v-vLo] = h.Weight(v)
+				b.Sizes[v-vLo] = h.Size(v)
+			}
+			for n := nLo; n < nHi; n++ {
+				b.NetCosts[n-nLo] = h.Cost(n)
+				b.NetSize[n-nLo] = int32(h.NetSize(n))
+				for _, p := range h.Pins(n) {
+					if int(p) >= vLo && int(p) < vHi {
+						b.NetPins[n-nLo] = append(b.NetPins[n-nLo], p)
+					}
+				}
+			}
+			if r == root {
+				applyBlock(d, b)
+			} else {
+				c.Send(r, tag2DBlock, b)
+			}
+		}
+	} else {
+		applyMeta(d, c.Recv(root, tag2DMeta).(meta))
+		applyBlock(d, c.Recv(root, tag2DBlock).(block))
+	}
+	// Row subcommunicator: same i, ordered by j.
+	d.row = c.Split(d.i, d.j)
+	return d, nil
+}
+
+func applyMeta(d *DH2D, m struct{ V, N int }) {
+	d.globalV, d.globalN = m.V, m.N
+	d.nLo, d.nHi = blockRange(m.N, d.px, d.i)
+	d.vLo, d.vHi = blockRange(m.V, d.py, d.j)
+}
+
+func applyBlock(d *DH2D, b struct {
+	Weights, Sizes []int64
+	NetCosts       []int64
+	NetPins        [][]int32
+	NetSize        []int32
+}) {
+	d.weights, d.sizes = b.Weights, b.Sizes
+	d.netCosts, d.netPins, d.netSize = b.NetCosts, b.NetPins, b.NetSize
+}
+
+// Grid returns (px, py, i, j) for this rank.
+func (d *DH2D) Grid() (int, int, int, int) { return d.px, d.py, d.i, d.j }
+
+// VertexRange returns this rank's vertex column block [lo, hi).
+func (d *DH2D) VertexRange() (int, int) { return d.vLo, d.vHi }
+
+// NetRange returns this rank's net row block [lo, hi).
+func (d *DH2D) NetRange() (int, int) { return d.nLo, d.nHi }
+
+// Stats reduces global statistics; identical on every rank. Pin counts
+// sum each rank's local pins (each global pin lives on exactly one rank);
+// weights/sizes sum one grid row's vertex attrs (column replication would
+// overcount otherwise); net costs sum one grid column's rows.
+func (d *DH2D) Stats() GlobalStats {
+	var localPins int64
+	for _, pins := range d.netPins {
+		localPins += int64(len(pins))
+	}
+	var localW, localS, localC int64
+	if d.i == 0 { // one row contributes vertex attrs
+		for i := range d.weights {
+			localW += d.weights[i]
+			localS += d.sizes[i]
+		}
+	}
+	if d.j == 0 { // one column contributes net costs
+		for _, c := range d.netCosts {
+			localC += c
+		}
+	}
+	totals := mpi.AllreduceSlice(d.c, []int64{localPins, localW, localS, localC}, mpi.SumInt64)
+	return GlobalStats{
+		NumVertices: d.globalV,
+		NumNets:     d.globalN,
+		NumPins:     int(totals[0]),
+		TotalWeight: totals[1],
+		TotalSize:   totals[2],
+		TotalCost:   totals[3],
+	}
+}
+
+// CutSize computes the global connectivity-1 cut: localParts[i] is the
+// part of vertex vLo+i (every rank of a grid column passes the same
+// slice). Each rank builds per-net part bitmasks from its local pins; an
+// OR-reduction across the grid row yields each net's full connectivity;
+// the j==0 ranks count λ and a global reduction sums the cut. Identical
+// on every rank.
+func (d *DH2D) CutSize(localParts []int32, k int) (int64, error) {
+	if len(localParts) != d.vHi-d.vLo {
+		return 0, fmt.Errorf("dhg: localParts covers %d vertices, column block has %d", len(localParts), d.vHi-d.vLo)
+	}
+	words := (k + 63) / 64
+	numNets := d.nHi - d.nLo
+	masks := make([]uint64, numNets*words)
+	for n := 0; n < numNets; n++ {
+		for _, p := range d.netPins[n] {
+			q := int(localParts[int(p)-d.vLo])
+			masks[n*words+q/64] |= 1 << (q % 64)
+		}
+	}
+	// OR across the row.
+	or := func(a, b uint64) uint64 { return a | b }
+	full := mpi.AllreduceSlice(d.row, masks, or)
+	var local int64
+	if d.j == 0 {
+		for n := 0; n < numNets; n++ {
+			lambda := 0
+			for w := 0; w < words; w++ {
+				lambda += bits.OnesCount64(full[n*words+w])
+			}
+			if lambda > 1 {
+				local += d.netCosts[n] * int64(lambda-1)
+			}
+		}
+	}
+	return mpi.Allreduce(d.c, local, mpi.SumInt64), nil
+}

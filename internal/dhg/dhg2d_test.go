@@ -1,0 +1,164 @@
+package dhg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/partition"
+)
+
+func TestDistribute2DStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := randomHG(rng, 60, 90)
+	want := hypergraph.ComputeStats(h)
+	for _, grid := range [][2]int{{1, 1}, {2, 2}, {2, 3}, {3, 2}} {
+		px, py := grid[0], grid[1]
+		err := mpi.Run(px*py, func(c *mpi.Comm) error {
+			var in *hypergraph.Hypergraph
+			if c.Rank() == 0 {
+				in = h
+			}
+			d, err := Distribute2D(c, 0, in, px, py)
+			if err != nil {
+				return err
+			}
+			s := d.Stats()
+			if s.NumVertices != want.NumVertices || s.NumNets != want.NumNets ||
+				s.NumPins != want.NumPins || s.TotalWeight != want.TotalWeight ||
+				s.TotalCost != want.TotalCost {
+				t.Errorf("grid %dx%d rank %d: stats %+v, want %+v", px, py, c.Rank(), s, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistribute2DGridValidation(t *testing.T) {
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		_, err := Distribute2D(c, 0, nil, 2, 2) // 4 != 3
+		if err == nil {
+			t.Error("expected grid size mismatch error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCut2DMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 4; trial++ {
+		h := randomHG(rng, 25+rng.Intn(40), 70)
+		k := 2 + rng.Intn(5)
+		parts := make([]int32, h.NumVertices())
+		for v := range parts {
+			parts[v] = int32(rng.Intn(k))
+		}
+		want := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+		grids := [][2]int{{1, 2}, {2, 2}, {3, 1}, {2, 3}}
+		px, py := grids[trial][0], grids[trial][1]
+		err := mpi.Run(px*py, func(c *mpi.Comm) error {
+			var in *hypergraph.Hypergraph
+			if c.Rank() == 0 {
+				in = h
+			}
+			d, err := Distribute2D(c, 0, in, px, py)
+			if err != nil {
+				return err
+			}
+			lo, hi := d.VertexRange()
+			got, err := d.CutSize(parts[lo:hi], k)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				t.Errorf("trial %d grid %dx%d rank %d: cut %d != %d", trial, px, py, c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCut2DManyParts(t *testing.T) {
+	// k > 64 exercises multi-word bitmasks.
+	rng := rand.New(rand.NewSource(17))
+	h := randomHG(rng, 200, 150)
+	k := 100
+	parts := make([]int32, 200)
+	for v := range parts {
+		parts[v] = int32(rng.Intn(k))
+	}
+	want := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		var in *hypergraph.Hypergraph
+		if c.Rank() == 0 {
+			in = h
+		}
+		d, err := Distribute2D(c, 0, in, 2, 2)
+		if err != nil {
+			return err
+		}
+		lo, hi := d.VertexRange()
+		got, err := d.CutSize(parts[lo:hi], k)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			t.Errorf("rank %d: k=100 cut %d != %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: 2D distributed cut equals serial for random hypergraphs,
+// partitions and grid shapes.
+func TestQuick2DCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHG(rng, 10+rng.Intn(30), 40)
+		k := 2 + rng.Intn(4)
+		parts := make([]int32, h.NumVertices())
+		for v := range parts {
+			parts[v] = int32(rng.Intn(k))
+		}
+		want := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+		px, py := 1+rng.Intn(3), 1+rng.Intn(3)
+		ok := true
+		err := mpi.Run(px*py, func(c *mpi.Comm) error {
+			var in *hypergraph.Hypergraph
+			if c.Rank() == 0 {
+				in = h
+			}
+			d, err := Distribute2D(c, 0, in, px, py)
+			if err != nil {
+				return err
+			}
+			lo, hi := d.VertexRange()
+			got, err := d.CutSize(parts[lo:hi], k)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

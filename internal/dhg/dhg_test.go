@@ -1,0 +1,221 @@
+package dhg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/partition"
+)
+
+func randomHG(rng *rand.Rand, n, nets int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetWeight(v, int64(1+rng.Intn(4)))
+		b.SetSize(v, int64(1+rng.Intn(4)))
+	}
+	for i := 0; i < nets; i++ {
+		sz := 2 + rng.Intn(4)
+		if sz > n {
+			sz = n
+		}
+		b.AddNet(int64(1+rng.Intn(3)), rng.Perm(n)[:sz]...)
+	}
+	return b.Build()
+}
+
+func TestDistributeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomHG(rng, 50, 80)
+	want := hypergraph.ComputeStats(h)
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		var in *hypergraph.Hypergraph
+		if c.Rank() == 0 {
+			in = h
+		}
+		d, err := Distribute(c, 0, in)
+		if err != nil {
+			return err
+		}
+		s := d.Stats()
+		if s.NumVertices != want.NumVertices || s.NumNets != want.NumNets ||
+			s.NumPins != want.NumPins || s.TotalWeight != want.TotalWeight ||
+			s.TotalSize != want.TotalSize || s.TotalCost != want.TotalCost {
+			t.Errorf("rank %d: stats %+v, want %+v", c.Rank(), s, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributeGatherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := randomHG(rng, 40, 60)
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		var in *hypergraph.Hypergraph
+		if c.Rank() == 0 {
+			in = h
+		}
+		d, err := Distribute(c, 0, in)
+		if err != nil {
+			return err
+		}
+		g := d.Gather(0)
+		if c.Rank() != 0 {
+			if g != nil {
+				t.Error("non-root Gather returned a hypergraph")
+			}
+			return nil
+		}
+		if g.NumVertices() != h.NumVertices() || g.NumNets() != h.NumNets() || g.NumPins() != h.NumPins() {
+			t.Errorf("round trip shape mismatch: %v vs %v", g, h)
+		}
+		for v := 0; v < h.NumVertices(); v++ {
+			if g.Weight(v) != h.Weight(v) || g.Size(v) != h.Size(v) {
+				t.Errorf("vertex %d attrs lost", v)
+			}
+		}
+		// nets may be reordered; compare multisets of (cost, sorted pins)
+		type key struct{ cost, pins string }
+		count := map[string]int{}
+		fp := func(hh *hypergraph.Hypergraph, n int) string {
+			s := string(rune(hh.Cost(n))) + ":"
+			for _, p := range hh.SortedPins(n) {
+				s += string(rune(p)) + ","
+			}
+			return s
+		}
+		for n := 0; n < h.NumNets(); n++ {
+			count[fp(h, n)]++
+		}
+		for n := 0; n < g.NumNets(); n++ {
+			count[fp(g, n)]--
+		}
+		for k, v := range count {
+			if v != 0 {
+				t.Errorf("net multiset mismatch at %q: %d", k, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedCutMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 4; trial++ {
+		h := randomHG(rng, 30+rng.Intn(40), 60)
+		k := 2 + rng.Intn(4)
+		parts := make([]int32, h.NumVertices())
+		for v := range parts {
+			parts[v] = int32(rng.Intn(k))
+		}
+		want := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+		np := 1 + rng.Intn(5)
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			var in *hypergraph.Hypergraph
+			if c.Rank() == 0 {
+				in = h
+			}
+			d, err := Distribute(c, 0, in)
+			if err != nil {
+				return err
+			}
+			lo, hi := d.LocalRange()
+			got, err := d.CutSize(parts[lo:hi], k)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				t.Errorf("trial %d rank %d: distributed cut %d != serial %d", trial, c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCutSizeLengthValidation(t *testing.T) {
+	h := randomHG(rand.New(rand.NewSource(7)), 20, 20)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		var in *hypergraph.Hypergraph
+		if c.Rank() == 0 {
+			in = h
+		}
+		d, err := Distribute(c, 0, in)
+		if err != nil {
+			return err
+		}
+		if _, err := d.CutSize(make([]int32, 3), 2); err == nil {
+			t.Error("expected length mismatch error")
+		}
+		// keep collective symmetry for the valid path
+		lo, hi := d.LocalRange()
+		_, err = d.CutSize(make([]int32, hi-lo), 2)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributeRequiresRootHypergraph(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		_, err := Distribute(c, 0, nil)
+		if err == nil {
+			t.Error("expected error for nil root hypergraph")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distributed cut equals serial cut for random hypergraphs,
+// partitions and world sizes.
+func TestQuickDistributedCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHG(rng, 8+rng.Intn(30), 30)
+		k := 2 + rng.Intn(3)
+		parts := make([]int32, h.NumVertices())
+		for v := range parts {
+			parts[v] = int32(rng.Intn(k))
+		}
+		want := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+		np := 1 + rng.Intn(4)
+		ok := true
+		err := mpi.Run(np, func(c *mpi.Comm) error {
+			var in *hypergraph.Hypergraph
+			if c.Rank() == 0 {
+				in = h
+			}
+			d, err := Distribute(c, 0, in)
+			if err != nil {
+				return err
+			}
+			lo, hi := d.LocalRange()
+			got, err := d.CutSize(parts[lo:hi], k)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

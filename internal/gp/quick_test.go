@@ -1,0 +1,108 @@
+package gp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperbal/internal/graph"
+	"hyperbal/internal/partition"
+)
+
+func quickGraph(rng *rand.Rand) *graph.Graph {
+	n := 20 + rng.Intn(80)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetWeight(v, int64(1+rng.Intn(3)))
+		b.SetSize(v, int64(1+rng.Intn(3)))
+	}
+	for v := 0; v+1 < n; v++ { // connectivity chain
+		b.AddEdge(v, v+1, 1)
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, int64(1+rng.Intn(4)))
+		}
+	}
+	return b.Build()
+}
+
+// Property: Partition returns valid, reasonably balanced assignments and
+// is deterministic per seed.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := quickGraph(rng)
+		k := 2 + rng.Intn(4)
+		p1, err1 := Partition(g, Options{K: k, Imbalance: 0.10, Seed: seed})
+		p2, err2 := Partition(g, Options{K: k, Imbalance: 0.10, Seed: seed})
+		if err1 != nil || err2 != nil || p1.Validate() != nil {
+			return false
+		}
+		for v := range p1.Parts {
+			if p1.Parts[v] != p2.Parts[v] {
+				return false
+			}
+		}
+		w := partition.GraphWeights(g, p1)
+		return partition.Imbalance(w) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AdaptiveRepart output is valid, and with a balanced inherited
+// partition the combined objective itr*cut + mig never exceeds staying
+// put (staying put is feasible, so the greedy must not end up worse).
+func TestQuickAdaptiveRepartInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := quickGraph(rng)
+		k := 2 + rng.Intn(4)
+		itr := int64(1 + rng.Intn(100))
+		old := partition.Partition{K: k, Parts: make([]int32, g.NumVertices())}
+		for v := range old.Parts {
+			old.Parts[v] = int32(v % k) // balanced round-robin
+		}
+		got, err := AdaptiveRepart(g, old, itr, Options{K: k, Imbalance: 0.5, Seed: seed})
+		if err != nil || got.Validate() != nil {
+			return false
+		}
+		objective := func(p partition.Partition) int64 {
+			return itr*partition.EdgeCut(g, p) + partition.GraphMigrationVolume(g, old, p)
+		}
+		return objective(got) <= objective(old)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HEM matchings are symmetric involutions over adjacent,
+// same-label pairs for arbitrary graphs.
+func TestQuickHEMInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := quickGraph(rng)
+		labels := make([]int32, g.NumVertices())
+		for v := range labels {
+			labels[v] = int32(rng.Intn(3))
+		}
+		match := HEM(g, rng, labels)
+		for v := range match {
+			u := int(match[v])
+			if u < 0 || u >= g.NumVertices() || int(match[u]) != v {
+				return false
+			}
+			if u != v && (labels[u] != labels[v] || !g.HasEdge(u, v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

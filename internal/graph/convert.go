@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"hyperbal/internal/hypergraph"
+)
+
+// FromHypergraph converts a hypergraph to a graph by clique expansion:
+// every net of size s contributes an edge between each pair of its pins.
+// Edge weights follow the standard 1/(s-1) scaling (rounded up, minimum 1)
+// so that cutting a clique roughly reflects the net's cost, matching how
+// graph partitioners are typically fed hypergraph problems. Vertex weights
+// and sizes carry over unchanged.
+//
+// Nets larger than maxClique are expanded as rings instead of cliques to
+// keep the edge count bounded (dense nets would otherwise explode
+// quadratically); this mirrors common practice in graph-model baselines.
+func FromHypergraph(h *hypergraph.Hypergraph, maxClique int) *Graph {
+	if maxClique < 2 {
+		maxClique = 2
+	}
+	b := NewBuilder(h.NumVertices())
+	for v := 0; v < h.NumVertices(); v++ {
+		b.SetWeight(v, h.Weight(v))
+		b.SetSize(v, h.Size(v))
+	}
+	for n := 0; n < h.NumNets(); n++ {
+		pins := h.Pins(n)
+		s := len(pins)
+		if s < 2 {
+			continue
+		}
+		w := h.Cost(n) / int64(s-1)
+		if w < 1 {
+			w = 1
+		}
+		if s <= maxClique {
+			for i := 0; i < s; i++ {
+				for j := i + 1; j < s; j++ {
+					b.AddEdge(int(pins[i]), int(pins[j]), w)
+				}
+			}
+		} else {
+			for i := 0; i < s; i++ {
+				b.AddEdge(int(pins[i]), int(pins[(i+1)%s]), w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ToHypergraph converts a graph to a hypergraph with one two-pin net per
+// undirected edge, net cost = edge weight. This is the exact hypergraph
+// representation of a structurally symmetric problem, as used for the
+// paper's test datasets ("all these problems are structurally symmetric,
+// and can be accurately represented as both graphs and hypergraphs").
+func ToHypergraph(g *Graph) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		b.SetWeight(v, g.Weight(v))
+		b.SetSize(v, g.Size(v))
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		adj, wts := g.Adj(u), g.AdjWeights(u)
+		for i, v := range adj {
+			if int(v) > u { // each undirected edge once
+				b.AddNet(wts[i], u, int(v))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperbal/internal/core"
+)
+
+// smallConfig keeps harness tests fast: tiny dataset, one proc count, two
+// alphas, one trial.
+func smallConfig(dynamic string) Config {
+	return Config{
+		Dataset: "auto",
+		ScaleV:  600,
+		Dynamic: dynamic,
+		Procs:   []int{4},
+		Alphas:  []int64{1, 100},
+		Trials:  1,
+		Epochs:  2,
+		Seed:    1,
+	}
+}
+
+func TestRunStructure(t *testing.T) {
+	rep, err := Run(smallConfig("structure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1*2*4 {
+		t.Fatalf("cells = %d, want 8", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Epochs != 2 {
+			t.Fatalf("cell %v aggregated %d epochs, want 2", c.Method, c.Epochs)
+		}
+		if c.CommVolume < 0 || c.NormalizedCost < c.CommVolume {
+			t.Fatalf("cell %v has inconsistent costs: %+v", c.Method, c)
+		}
+		if c.RepartTime <= 0 {
+			t.Fatalf("cell %v has no measured time", c.Method)
+		}
+	}
+}
+
+func TestRunWeights(t *testing.T) {
+	rep, err := Run(smallConfig("weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight dynamics keep the vertex set; all methods should still report
+	// sane migration at alpha=1 epoch 1 (weights changed, some movement).
+	found := false
+	for _, c := range rep.Cells {
+		if c.MigrationVolume > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no cell reported migration under weight dynamics")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := smallConfig("structure")
+	cfg.Dataset = "nosuch"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected unknown dataset error")
+	}
+	cfg = smallConfig("structure")
+	cfg.Dynamic = "nosuch"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected unknown dynamic error")
+	}
+}
+
+func TestScratchPaysMigrationAtAlpha1(t *testing.T) {
+	// The paper's headline: at α=1 scratch methods have much larger
+	// migration cost than repartitioners.
+	rep, err := Run(smallConfig("structure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr := rep.cell(4, 1, core.HypergraphRepart)
+	zs := rep.cell(4, 1, core.HypergraphScratch)
+	if zr == nil || zs == nil {
+		t.Fatal("missing cells")
+	}
+	if zr.MigrationVolume >= zs.MigrationVolume {
+		t.Fatalf("repart migration %f should be below scratch %f",
+			zr.MigrationVolume, zs.MigrationVolume)
+	}
+	if zr.NormalizedCost >= zs.NormalizedCost {
+		t.Fatalf("at α=1 repart total %f should beat scratch %f",
+			zr.NormalizedCost, zs.NormalizedCost)
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	rep, err := Run(smallConfig("structure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.WriteFigure(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 4(a)", "Zoltan-repart", "ParMETIS-scratch", "procs = 4", "lowest total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	var rbuf bytes.Buffer
+	rep.WriteRuntimeFigure(&rbuf)
+	if !strings.Contains(rbuf.String(), "Run time") || !strings.Contains(rbuf.String(), "Z-rep") {
+		t.Fatalf("runtime figure malformed:\n%s", rbuf.String())
+	}
+}
+
+func TestWriteTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"xyce680s", "2DLipid", "auto", "apoa1-10", "cage14"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "682712") {
+		t.Fatal("Table 1 missing paper |V| for xyce680s")
+	}
+}
+
+func TestCheckShapes(t *testing.T) {
+	rep, err := Run(smallConfig("structure"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.CheckShapes()
+	if s.TotalCells != 2 {
+		t.Fatalf("total cells = %d, want 2", s.TotalCells)
+	}
+	// The strongest structural claim at this scale: a repartitioner wins at
+	// α=1 and scratch migration dominates there.
+	if !s.RepartWinsAtAlpha1 {
+		t.Error("expected a repartitioning method to win at α=1")
+	}
+	if !s.ScratchPaysMoreMigration {
+		t.Error("expected scratch methods to migrate more than their repart counterparts at α=1")
+	}
+}
+
+func TestFigureNumber(t *testing.T) {
+	if FigureNumber("xyce680s") != 2 || FigureNumber("cage14") != 6 || FigureNumber("zzz") != 0 {
+		t.Fatal("figure numbering wrong")
+	}
+}
+
+func TestParallelRuntime(t *testing.T) {
+	cells, err := ParallelRuntime("auto", 400, []int{2, 4}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	for _, c := range cells {
+		if c.WallTime <= 0 || c.Messages <= 0 || c.Cut < 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+	}
+	var buf bytes.Buffer
+	WriteParallelRuntime(&buf, "auto", cells)
+	if !strings.Contains(buf.String(), "hypergraph") || !strings.Contains(buf.String(), "ranks") {
+		t.Fatalf("report malformed:\n%s", buf.String())
+	}
+}

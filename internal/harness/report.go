@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hyperbal/internal/core"
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/graph"
+)
+
+// FigureNumber maps a dataset to its normalized-total-cost figure in the
+// paper (Figures 2-6, sub-figure (a) structure / (b) weights).
+func FigureNumber(dataset string) int {
+	switch dataset {
+	case "xyce680s":
+		return 2
+	case "2DLipid":
+		return 3
+	case "auto":
+		return 4
+	case "apoa1-10":
+		return 5
+	case "cage14":
+		return 6
+	default:
+		return 0
+	}
+}
+
+// WriteFigure renders the report in the shape of Figures 2-6: for every
+// (procs, α) configuration, four bars (Zoltan-repart, ParMETIS-repart,
+// Zoltan-scratch, ParMETIS-scratch) of normalized total cost split into
+// communication (bottom) and migration/α (top).
+func (r *Report) WriteFigure(w io.Writer) {
+	sub := "(a) perturbed data structure"
+	if r.Config.Dynamic == "weights" {
+		sub = "(b) perturbed weights"
+	}
+	fig := FigureNumber(r.Config.Dataset)
+	fmt.Fprintf(w, "Figure %d%s: %s — normalized total cost (comm + mig/α)\n",
+		fig, subLetter(r.Config.Dynamic), r.Config.Dataset)
+	fmt.Fprintf(w, "dynamic: %s; |V|=%d |E|=%d; trials=%d epochs=%d\n\n",
+		sub, r.DatasetStats.NumVertices, r.DatasetStats.NumEdges, r.Config.Trials, r.Config.Epochs)
+
+	// Max cost for bar scaling.
+	maxCost := 0.0
+	for _, c := range r.Cells {
+		if c.NormalizedCost > maxCost {
+			maxCost = c.NormalizedCost
+		}
+	}
+	for _, procs := range r.Config.Procs {
+		fmt.Fprintf(w, "procs = %d\n", procs)
+		for _, alpha := range r.Config.Alphas {
+			fmt.Fprintf(w, "  α = %-5d %-18s %12s %12s %12s  %s\n", alpha, "method", "comm", "mig/α", "total", "")
+			for _, m := range r.Config.Methods {
+				c := r.cell(procs, alpha, m)
+				if c == nil {
+					continue
+				}
+				bar := renderBar(c.CommVolume, c.MigOverAlpha, maxCost, 40)
+				fmt.Fprintf(w, "            %-18s %12.1f %12.1f %12.1f  %s\n",
+					c.Method, c.CommVolume, c.MigOverAlpha, c.NormalizedCost, bar)
+			}
+			if win := r.winner(procs, alpha); win != nil {
+				fmt.Fprintf(w, "            -> lowest total: %s\n", win.Method)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteRuntimeFigure renders the report in the shape of Figures 7-8: run
+// time per (procs, α, method).
+func (r *Report) WriteRuntimeFigure(w io.Writer) {
+	fmt.Fprintf(w, "Run time: %s, %s dynamic (cf. paper Figures 7-8)\n",
+		r.Config.Dataset, r.Config.Dynamic)
+	fmt.Fprintf(w, "|V|=%d |E|=%d; trials=%d epochs=%d\n\n",
+		r.DatasetStats.NumVertices, r.DatasetStats.NumEdges, r.Config.Trials, r.Config.Epochs)
+	for _, procs := range r.Config.Procs {
+		fmt.Fprintf(w, "procs = %d\n", procs)
+		for _, alpha := range r.Config.Alphas {
+			fmt.Fprintf(w, "  α = %-6d", alpha)
+			for _, m := range r.Config.Methods {
+				c := r.cell(procs, alpha, m)
+				if c == nil {
+					continue
+				}
+				fmt.Fprintf(w, "  %s %8.1fms", shortName(c.Method), float64(c.RepartTime.Microseconds())/1000)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func shortName(m core.Method) string {
+	switch m {
+	case core.HypergraphRepart:
+		return "Z-rep"
+	case core.HypergraphScratch:
+		return "Z-scr"
+	case core.GraphRepart:
+		return "P-rep"
+	case core.GraphScratch:
+		return "P-scr"
+	}
+	return m.String()
+}
+
+func subLetter(dynamic string) string {
+	if dynamic == "weights" {
+		return "(b)"
+	}
+	return "(a)"
+}
+
+func (r *Report) cell(procs int, alpha int64, m core.Method) *Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Procs == procs && c.Alpha == alpha && c.Method == m {
+			return c
+		}
+	}
+	return nil
+}
+
+// winner returns the cell with the lowest normalized total cost for a
+// (procs, alpha) configuration.
+func (r *Report) winner(procs int, alpha int64) *Cell {
+	var best *Cell
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Procs != procs || c.Alpha != alpha {
+			continue
+		}
+		if best == nil || c.NormalizedCost < best.NormalizedCost {
+			best = c
+		}
+	}
+	return best
+}
+
+// renderBar draws a two-segment ASCII bar: '#' for communication and '+'
+// for migration/α, scaled to width characters at maxCost.
+func renderBar(comm, mig, maxCost float64, width int) string {
+	if maxCost <= 0 {
+		return ""
+	}
+	commW := int(comm / maxCost * float64(width))
+	migW := int(mig / maxCost * float64(width))
+	if commW+migW > width {
+		migW = width - commW
+	}
+	return strings.Repeat("#", commW) + strings.Repeat("+", migW)
+}
+
+// WriteTable1 prints the dataset-analogue comparison against the paper's
+// Table 1 for all registry datasets at their default scales.
+func WriteTable1(w io.Writer, seed int64) error {
+	fmt.Fprintf(w, "Table 1: test datasets — paper originals vs generated analogues\n\n")
+	fmt.Fprintf(w, "%-10s %-16s | %10s %12s %6s %6s %8s | %8s %10s %5s %6s %8s\n",
+		"name", "area", "paper |V|", "paper |E|", "min", "max", "avg",
+		"gen |V|", "gen |E|", "min", "max", "avg")
+	for _, info := range datasets.Registry {
+		g, err := datasets.Generate(info.Name, 0, seed)
+		if err != nil {
+			return err
+		}
+		s := graph.ComputeStats(g)
+		fmt.Fprintf(w, "%-10s %-16s | %10d %12d %6d %6d %8.1f | %8d %10d %5d %6d %8.1f\n",
+			info.Name, info.Area, info.PaperV, info.PaperE,
+			info.PaperMinDeg, info.PaperMaxDeg, info.PaperAvgDeg,
+			s.NumVertices, s.NumEdges, s.MinDegree, s.MaxDegree, s.AvgDegree)
+	}
+	return nil
+}
+
+// ShapeChecks verifies the qualitative claims (S1-S4 in DESIGN.md) on a
+// report and returns human-readable findings. Used by tests and
+// EXPERIMENTS.md generation.
+type ShapeChecks struct {
+	// RepartWinsAtAlpha1 is true when a repartitioning method (not a
+	// scratch method) has the lowest total cost at α=1 for every procs.
+	RepartWinsAtAlpha1 bool
+	// ScratchPaysMoreMigration is true when, at α=1, each scratch method
+	// migrates more data than its repartitioning counterpart (hypergraph
+	// scratch vs hypergraph repart, graph scratch vs graph repart). At
+	// paper scale the scratch migration dwarfs communication outright; at
+	// laptop scale the robust signal is this within-family ordering.
+	ScratchPaysMoreMigration bool
+	// CommConvergesAtHighAlpha is true when at the largest α every method's
+	// migration/α term is below its communication term.
+	CommConvergesAtHighAlpha bool
+	// ZoltanRepartBeatsParmetisCells counts (procs, α) cells where
+	// Zoltan-repart's total cost <= ParMETIS-repart's; Total is the cell
+	// count.
+	ZoltanRepartBeatsParmetisCells int
+	TotalCells                     int
+}
+
+// CheckShapes evaluates the qualitative claims on the report.
+func (r *Report) CheckShapes() ShapeChecks {
+	out := ShapeChecks{RepartWinsAtAlpha1: true, ScratchPaysMoreMigration: true, CommConvergesAtHighAlpha: true}
+	maxAlpha := int64(0)
+	for _, a := range r.Config.Alphas {
+		if a > maxAlpha {
+			maxAlpha = a
+		}
+	}
+	for _, procs := range r.Config.Procs {
+		if win := r.winner(procs, 1); win != nil {
+			if win.Method != core.HypergraphRepart && win.Method != core.GraphRepart {
+				out.RepartWinsAtAlpha1 = false
+			}
+		}
+		pairs := [][2]core.Method{
+			{core.HypergraphScratch, core.HypergraphRepart},
+			{core.GraphScratch, core.GraphRepart},
+		}
+		for _, pair := range pairs {
+			scr, rep := r.cell(procs, 1, pair[0]), r.cell(procs, 1, pair[1])
+			if scr != nil && rep != nil && scr.MigrationVolume < rep.MigrationVolume {
+				out.ScratchPaysMoreMigration = false
+			}
+		}
+		for _, m := range r.Config.Methods {
+			if c := r.cell(procs, maxAlpha, m); c != nil && c.MigOverAlpha > c.CommVolume {
+				out.CommConvergesAtHighAlpha = false
+			}
+		}
+		for _, alpha := range r.Config.Alphas {
+			z := r.cell(procs, alpha, core.HypergraphRepart)
+			p := r.cell(procs, alpha, core.GraphRepart)
+			if z != nil && p != nil {
+				out.TotalCells++
+				if z.NormalizedCost <= p.NormalizedCost*1.001 {
+					out.ZoltanRepartBeatsParmetisCells++
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package hgp
+
+import (
+	"math/rand"
+
+	"hyperbal/internal/hypergraph"
+)
+
+// bisect computes a 2-way partition of h with target side-0 weight
+// fraction frac0 and per-bisection imbalance eps, using the full
+// multilevel pipeline: IPM coarsening, multi-start greedy hypergraph
+// growing at the coarsest level, and FM refinement at every level.
+// fixedSide maps each vertex to 0, 1, or Free.
+func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, eps float64, opt Options) []int32 {
+	hf := h.WithFixed(fixedSide)
+	coarsenTo := opt.CoarsenTo
+	if coarsenTo < 4 {
+		coarsenTo = 4
+	}
+	levels := coarsen(hf, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter)
+
+	// Coarsest-level solve: multi-start GHG + FM, keep the best.
+	coarsest := levels[len(levels)-1].h
+	cFixed := fixedLabels(coarsest)
+	ctotal := coarsest.TotalWeight()
+	ct0 := int64(float64(ctotal) * frac0)
+	cc0 := int64(float64(ctotal) * frac0 * (1 + eps))
+	cc1 := int64(float64(ctotal) * (1 - frac0) * (1 + eps))
+	if cc0 < ct0 {
+		cc0 = ct0
+	}
+	var best []int32
+	var bestCut int64 = -1
+	for s := 0; s < opt.InitialStarts; s++ {
+		parts := ghg2(coarsest, rng, cFixed, ct0, cc0, cc1, opt.MaxNetSize)
+		cut := fm2(coarsest, parts, cFixed, cc0, cc1, opt.RefinePasses, opt.MaxNetSize)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			best = append(best[:0], parts...)
+		}
+	}
+	parts := best
+
+	// Uncoarsen: project and refine at each finer level.
+	for i := len(levels) - 2; i >= 0; i-- {
+		parts = project(levels[i].cmap, parts)
+		lf := fixedLabels(levels[i].h)
+		lt := levels[i].h.TotalWeight()
+		lc0 := int64(float64(lt) * frac0 * (1 + eps))
+		lc1 := int64(float64(lt) * (1 - frac0) * (1 + eps))
+		fm2(levels[i].h, parts, lf, lc0, lc1, opt.RefinePasses, opt.MaxNetSize)
+	}
+	return parts
+}
+
+// fixedLabels extracts the fixed-side labels of h into a slice (Free for
+// unfixed vertices).
+func fixedLabels(h *hypergraph.Hypergraph) []int32 {
+	out := make([]int32, h.NumVertices())
+	for v := range out {
+		out[v] = h.Fixed(v)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package hgp
+
+import (
+	"container/heap"
+
+	"hyperbal/internal/hypergraph"
+)
+
+// bisectState tracks incremental cut bookkeeping for a 2-way partition:
+// per-net pin counts on side 0, side weights, and targets/caps.
+type bisectState struct {
+	h          *hypergraph.Hypergraph
+	parts      []int32
+	pins0      []int32  // per net: pins currently in part 0
+	w          [2]int64 // side weights
+	cap        [2]int64 // max allowed side weights
+	maxNetSize int
+}
+
+func newBisectState(h *hypergraph.Hypergraph, parts []int32, cap0, cap1 int64, maxNetSize int) *bisectState {
+	s := &bisectState{
+		h:          h,
+		parts:      parts,
+		pins0:      make([]int32, h.NumNets()),
+		cap:        [2]int64{cap0, cap1},
+		maxNetSize: maxNetSize,
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		s.w[parts[v]] += h.Weight(v)
+	}
+	for n := 0; n < h.NumNets(); n++ {
+		c := int32(0)
+		for _, p := range h.Pins(n) {
+			if parts[p] == 0 {
+				c++
+			}
+		}
+		s.pins0[n] = c
+	}
+	return s
+}
+
+// Cut returns the current cut size (2-way connectivity-1 == cut-net).
+func (s *bisectState) Cut() int64 {
+	var c int64
+	for n := 0; n < s.h.NumNets(); n++ {
+		sz := int32(s.h.NetSize(n))
+		if s.pins0[n] > 0 && s.pins0[n] < sz {
+			c += s.h.Cost(n)
+		}
+	}
+	return c
+}
+
+// gain returns the cut reduction of moving v to the other side. Nets larger
+// than maxNetSize are skipped (approximation; the cut accounting in move()
+// remains exact).
+func (s *bisectState) gain(v int) int64 {
+	var g int64
+	from := s.parts[v]
+	for _, nn := range s.h.Nets(v) {
+		n := int(nn)
+		sz := int32(s.h.NetSize(n))
+		if sz < 2 || int(sz) > s.maxNetSize {
+			continue
+		}
+		onFrom := s.pins0[n]
+		if from == 1 {
+			onFrom = sz - s.pins0[n]
+		}
+		if onFrom == 1 {
+			g += s.h.Cost(n) // net leaves the cut
+		} else if onFrom == sz {
+			g -= s.h.Cost(n) // net enters the cut
+		}
+	}
+	return g
+}
+
+// Move flips v to the other side and updates bookkeeping.
+func (s *bisectState) Move(v int) {
+	from := s.parts[v]
+	to := 1 - from
+	w := s.h.Weight(v)
+	s.w[from] -= w
+	s.w[to] += w
+	s.parts[v] = to
+	for _, nn := range s.h.Nets(v) {
+		if from == 0 {
+			s.pins0[nn]--
+		} else {
+			s.pins0[nn]++
+		}
+	}
+}
+
+// fits reports whether moving v to the other side keeps the destination
+// under its cap, or rescues an over-cap source side without pushing the
+// destination further over its cap than the source was.
+func (s *bisectState) fits(v int) bool {
+	from := s.parts[v]
+	to := 1 - from
+	w := s.h.Weight(v)
+	if s.w[to]+w <= s.cap[to] {
+		return true
+	}
+	// rescue: source side is over cap and the move strictly reduces the
+	// total overflow.
+	overBefore := over(s.w[0], s.cap[0]) + over(s.w[1], s.cap[1])
+	overAfter := over(s.w[from]-w, s.cap[from]) + over(s.w[to]+w, s.cap[to])
+	return overBefore > 0 && overAfter < overBefore
+}
+
+func over(w, cap int64) int64 {
+	if w > cap {
+		return w - cap
+	}
+	return 0
+}
+
+// gainHeap is a max-heap of (vertex, gain) entries with lazy invalidation
+// via per-vertex stamps.
+type gainEntry struct {
+	v     int32
+	gain  int64
+	stamp uint32
+}
+
+type gainHeap struct {
+	entries []gainEntry
+	stamp   []uint32 // current stamp per vertex
+}
+
+func newGainHeap(n int) *gainHeap {
+	return &gainHeap{stamp: make([]uint32, n)}
+}
+
+func (g *gainHeap) Len() int { return len(g.entries) }
+func (g *gainHeap) Less(i, j int) bool {
+	if g.entries[i].gain != g.entries[j].gain {
+		return g.entries[i].gain > g.entries[j].gain
+	}
+	return g.entries[i].v < g.entries[j].v
+}
+func (g *gainHeap) Swap(i, j int) { g.entries[i], g.entries[j] = g.entries[j], g.entries[i] }
+func (g *gainHeap) Push(x any)    { g.entries = append(g.entries, x.(gainEntry)) }
+func (g *gainHeap) Pop() any {
+	old := g.entries
+	n := len(old)
+	e := old[n-1]
+	g.entries = old[:n-1]
+	return e
+}
+
+// update (re)inserts v with the given gain, invalidating earlier entries.
+func (g *gainHeap) update(v int, gain int64) {
+	g.stamp[v]++
+	heap.Push(g, gainEntry{v: int32(v), gain: gain, stamp: g.stamp[v]})
+}
+
+// popValid removes and returns the best currently valid entry, or ok=false
+// when the heap is exhausted.
+func (g *gainHeap) popValid() (gainEntry, bool) {
+	for g.Len() > 0 {
+		e := heap.Pop(g).(gainEntry)
+		if e.stamp == g.stamp[e.v] {
+			return e, true
+		}
+	}
+	return gainEntry{}, false
+}
+
+// invalidate removes v from consideration.
+func (g *gainHeap) invalidate(v int) { g.stamp[v]++ }

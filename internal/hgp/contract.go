@@ -1,0 +1,134 @@
+package hgp
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"hyperbal/internal/hypergraph"
+)
+
+// contract builds the coarse hypergraph induced by a match vector.
+// It returns the coarse hypergraph and the coarse map cmap (fine vertex ->
+// coarse vertex). Coarse vertex weight and size are the sums of the
+// constituents. Fixed labels propagate by the three-case rule of
+// Section 4.1: same-fixed pairs stay fixed, fixed+free pairs inherit the
+// fixed part, free pairs stay free. Single-pin coarse nets are dropped;
+// identical coarse nets are merged with summed costs.
+func Contract(h *hypergraph.Hypergraph, match []int32) (*hypergraph.Hypergraph, []int32) {
+	n := h.NumVertices()
+	cmap := make([]int32, n)
+	for v := range cmap {
+		cmap[v] = -1
+	}
+	numCoarse := 0
+	for v := 0; v < n; v++ {
+		if cmap[v] != -1 {
+			continue
+		}
+		u := int(match[v])
+		cmap[v] = int32(numCoarse)
+		if u != v {
+			cmap[u] = int32(numCoarse)
+		}
+		numCoarse++
+	}
+
+	weights := make([]int64, numCoarse)
+	sizes := make([]int64, numCoarse)
+	fixed := make([]int32, numCoarse)
+	hasFixed := false
+	for i := range fixed {
+		fixed[i] = hypergraph.Free
+	}
+	for v := 0; v < n; v++ {
+		c := cmap[v]
+		weights[c] += h.Weight(v)
+		sizes[c] += h.Size(v)
+		if f := h.Fixed(v); f != hypergraph.Free {
+			fixed[c] = f
+			hasFixed = true
+		}
+	}
+
+	// Build coarse nets with dedup of identical pin sets.
+	type netKey struct {
+		hash uint64
+		size int
+	}
+	seen := make(map[netKey][]int, h.NumNets()/2+1) // key -> candidate coarse net ids
+	var coarsePins [][]int32
+	var coarseCosts []int64
+
+	mark := make([]bool, numCoarse)
+	buf := make([]int32, 0, 64)
+	for netID := 0; netID < h.NumNets(); netID++ {
+		buf = buf[:0]
+		for _, p := range h.Pins(netID) {
+			c := cmap[p]
+			if !mark[c] {
+				mark[c] = true
+				buf = append(buf, c)
+			}
+		}
+		for _, c := range buf {
+			mark[c] = false
+		}
+		if len(buf) < 2 {
+			continue // uncuttable net
+		}
+		pins := append([]int32(nil), buf...)
+		sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+		key := netKey{hash: hashPins(pins), size: len(pins)}
+		merged := false
+		for _, id := range seen[key] {
+			if equalPins(coarsePins[id], pins) {
+				coarseCosts[id] += h.Cost(netID)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			seen[key] = append(seen[key], len(coarsePins))
+			coarsePins = append(coarsePins, pins)
+			coarseCosts = append(coarseCosts, h.Cost(netID))
+		}
+	}
+
+	b := hypergraph.NewBuilder(numCoarse)
+	for c := 0; c < numCoarse; c++ {
+		b.SetWeight(c, weights[c])
+		b.SetSize(c, sizes[c])
+		if hasFixed && fixed[c] != hypergraph.Free {
+			b.Fix(c, int(fixed[c]))
+		}
+	}
+	for i, pins := range coarsePins {
+		b.AddNetInt32(coarseCosts[i], pins)
+	}
+	return b.Build(), cmap
+}
+
+func hashPins(pins []int32) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, p := range pins {
+		b[0] = byte(p)
+		b[1] = byte(p >> 8)
+		b[2] = byte(p >> 16)
+		b[3] = byte(p >> 24)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func equalPins(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package hgp
+
+import (
+	"hyperbal/internal/hypergraph"
+)
+
+// fm2 refines a 2-way partition in place using the Fiduccia–Mattheyses
+// heuristic with pass-pairs and prefix rollback (Section 4.3). Vertices
+// with fixedSide != Free are never moved. parts must be a 0/1 assignment.
+// It returns the final cut size.
+func fm2(h *hypergraph.Hypergraph, parts []int32, fixedSide []int32, cap0, cap1 int64, maxPasses, maxNetSize int) int64 {
+	n := h.NumVertices()
+	s := newBisectState(h, parts, cap0, cap1, maxNetSize)
+	bestCut := s.Cut()
+
+	moved := make([]int32, 0, n) // move order within a pass, for rollback
+	locked := make([]bool, n)
+
+	for pass := 0; pass < maxPasses; pass++ {
+		gh := newGainHeap(n)
+		for v := 0; v < n; v++ {
+			locked[v] = false
+			if fixedSide[v] == hypergraph.Free {
+				gh.update(v, s.gain(v))
+			}
+		}
+		moved = moved[:0]
+		curCut := s.Cut()
+		passStartCut := curCut
+		bestPrefix := 0
+		bestPrefixCut := curCut
+		sinceBest := 0
+		limit := n/20 + 50
+
+		var stash []gainEntry
+		for {
+			e, ok := gh.popValid()
+			if !ok {
+				break
+			}
+			v := int(e.v)
+			if locked[v] {
+				continue
+			}
+			if !s.fits(v) {
+				stash = append(stash, e)
+				continue
+			}
+			// reinsert balance-skipped entries: the weights changed contexts
+			for _, se := range stash {
+				if !locked[se.v] {
+					gh.update(int(se.v), se.gain)
+				}
+			}
+			stash = stash[:0]
+
+			g := s.gain(v) // exact gain (heap entry may be approximate for huge nets)
+			s.Move(v)
+			locked[v] = true
+			moved = append(moved, int32(v))
+			curCut -= g
+			if curCut < bestPrefixCut {
+				bestPrefixCut = curCut
+				bestPrefix = len(moved)
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if sinceBest > limit {
+					break
+				}
+			}
+			// refresh gains of unlocked neighbors
+			for _, nn := range h.Nets(v) {
+				pins := h.Pins(int(nn))
+				if len(pins) > maxNetSize {
+					continue
+				}
+				for _, p := range pins {
+					u := int(p)
+					if !locked[u] && fixedSide[u] == hypergraph.Free {
+						gh.update(u, s.gain(u))
+					}
+				}
+			}
+		}
+		// roll back to the best prefix
+		for i := len(moved) - 1; i >= bestPrefix; i-- {
+			s.Move(int(moved[i]))
+		}
+		if bestPrefixCut >= passStartCut {
+			break // no improvement this pass
+		}
+		bestCut = bestPrefixCut
+	}
+	_ = bestCut
+	return s.Cut()
+}

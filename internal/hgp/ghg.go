@@ -1,0 +1,106 @@
+package hgp
+
+import (
+	"math/rand"
+
+	"hyperbal/internal/hypergraph"
+)
+
+// ghg2 computes a 2-way initial partition by randomized greedy hypergraph
+// growing (Section 4.2) honoring fixed vertices: vertices fixed to side 0
+// seed the growing side and vertices fixed to side 1 are never absorbed.
+// target0 is the desired weight of side 0; cap0/cap1 bound the sides.
+//
+// fixedSide must map each vertex to 0, 1, or hypergraph.Free (side-folded
+// labels, not original part ids).
+func ghg2(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, target0, cap0, cap1 int64, maxNetSize int) []int32 {
+	n := h.NumVertices()
+	parts := make([]int32, n)
+	for v := range parts {
+		parts[v] = 1
+	}
+	for v, f := range fixedSide {
+		if f == 0 {
+			parts[v] = 0
+		}
+	}
+	s := newBisectState(h, parts, cap0, cap1, maxNetSize)
+
+	gh := newGainHeap(n)
+	inHeap := make([]bool, n)
+	// dead marks vertices that can no longer fit side 0; since side 0 only
+	// grows, a vertex that overfills once overfills forever.
+	dead := make([]bool, n)
+	seed := func() bool {
+		// find a random movable vertex on side 1 to restart growth
+		start := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			v := (start + i) % n
+			if parts[v] == 1 && fixedSide[v] != 1 && !inHeap[v] && !dead[v] {
+				gh.update(v, s.gain(v))
+				inHeap[v] = true
+				return true
+			}
+		}
+		return false
+	}
+	// Seed with neighbors of side-0 fixed vertices first so growth starts
+	// around them; otherwise from a random vertex.
+	seeded := false
+	for v := 0; v < n && !seeded; v++ {
+		if parts[v] != 0 {
+			continue
+		}
+		for _, nn := range h.Nets(v) {
+			for _, p := range h.Pins(int(nn)) {
+				u := int(p)
+				if parts[u] == 1 && fixedSide[u] != 1 && !inHeap[u] {
+					gh.update(u, s.gain(u))
+					inHeap[u] = true
+					seeded = true
+				}
+			}
+			if seeded {
+				break
+			}
+		}
+	}
+	if !seeded {
+		seeded = seed()
+	}
+
+	for s.w[0] < target0 {
+		e, ok := gh.popValid()
+		if !ok {
+			if !seed() {
+				break // nothing left to grow
+			}
+			continue
+		}
+		v := int(e.v)
+		inHeap[v] = false
+		if parts[v] != 1 || fixedSide[v] == 1 {
+			continue
+		}
+		if s.w[0]+h.Weight(v) > cap0 {
+			dead[v] = true
+			continue // would overfill side 0; try next best
+		}
+		s.Move(v)
+		// enqueue/refresh neighbors on side 1
+		for _, nn := range h.Nets(v) {
+			pins := h.Pins(int(nn))
+			if len(pins) > maxNetSize {
+				continue
+			}
+			for _, p := range pins {
+				u := int(p)
+				if parts[u] == 1 && fixedSide[u] != 1 {
+					gh.update(u, s.gain(u))
+					inHeap[u] = true
+				}
+			}
+		}
+	}
+	return parts
+}

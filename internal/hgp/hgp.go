@@ -1,0 +1,192 @@
+package hgp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/partition"
+)
+
+// Partition computes a k-way partition of h honoring any fixed-vertex
+// labels carried by h. By default it uses recursive bisection (Zoltan's
+// approach, Section 4.4); Options.DirectKway selects the direct k-way
+// driver instead. The result satisfies Eq. 1 with Options.Imbalance on all
+// but pathological inputs (e.g. a single vertex heavier than a part cap);
+// callers can check with partition.IsBalanced.
+func Partition(h *hypergraph.Hypergraph, opt Options) (partition.Partition, error) {
+	opt = opt.withDefaults()
+	if err := checkFixed(h, opt.K); err != nil {
+		return partition.Partition{}, err
+	}
+	if err := checkFractions(opt); err != nil {
+		return partition.Partition{}, err
+	}
+	p := partition.Partition{Parts: make([]int32, h.NumVertices()), K: opt.K}
+	if opt.K == 1 {
+		return p, nil
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	if opt.DirectKway {
+		directKway(h, rng, opt, p.Parts)
+	} else {
+		vs := make([]int32, h.NumVertices())
+		for v := range vs {
+			vs[v] = int32(v)
+		}
+		eps := bisectionEps(opt.Imbalance, opt.K)
+		recursiveBisect(h, vs, 0, opt.K, p.Parts, rng, eps, opt.TargetFractions, opt)
+		// Final k-way polish pass to recover from per-bisection myopia.
+		caps := capsForTargets(h, opt.K, opt.Imbalance, opt.TargetFractions)
+		if opt.KwayFM {
+			refineKwayFM(h, opt.K, p.Parts, caps, opt.RefinePasses)
+		} else {
+			refineKway(h, opt.K, p.Parts, caps, opt.RefinePasses)
+		}
+	}
+	return p, nil
+}
+
+// directKway runs one multilevel pipeline with k-way coarse solution and
+// k-way refinement (the A3 ablation path).
+func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int32) {
+	coarsenTo := opt.CoarsenTo
+	if coarsenTo < 2*opt.K {
+		coarsenTo = 2 * opt.K
+	}
+	levels := coarsen(h, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter)
+	coarsest := levels[len(levels)-1].h
+
+	// Coarse solution: balanced random assignment honoring fixed labels,
+	// improved by k-way refinement; multi-start keeps the best.
+	ccaps := capsForTargets(coarsest, opt.K, opt.Imbalance, opt.TargetFractions)
+	var best []int32
+	var bestCut int64 = -1
+	for s := 0; s < opt.InitialStarts; s++ {
+		parts := randomBalanced(coarsest, opt.K, opt.TargetFractions, rng)
+		cut := refineKway(coarsest, opt.K, parts, ccaps, opt.RefinePasses*2)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			best = append(best[:0], parts...)
+		}
+	}
+	parts := best
+	for i := len(levels) - 2; i >= 0; i-- {
+		parts = project(levels[i].cmap, parts)
+		caps := capsForTargets(levels[i].h, opt.K, opt.Imbalance, opt.TargetFractions)
+		refineKway(levels[i].h, opt.K, parts, caps, opt.RefinePasses)
+	}
+	copy(out, parts)
+}
+
+// randomBalanced assigns free vertices round-robin in random order (a
+// balanced start), keeping fixed vertices at their parts.
+func randomBalanced(h *hypergraph.Hypergraph, k int, fracs []float64, rng *rand.Rand) []int32 {
+	parts := make([]int32, h.NumVertices())
+	w := make([]int64, k)
+	for v := range parts {
+		if f := h.Fixed(v); f != hypergraph.Free {
+			parts[v] = f
+			w[f] += h.Weight(v)
+		} else {
+			parts[v] = -1
+		}
+	}
+	order := rng.Perm(h.NumVertices())
+	for _, v := range order {
+		if parts[v] != -1 {
+			continue
+		}
+		// part with the lowest fill ratio relative to its target share
+		best := 0
+		bestRatio := fillRatio(w[0], k, 0, fracs)
+		for p := 1; p < k; p++ {
+			if r := fillRatio(w[p], k, p, fracs); r < bestRatio {
+				best = p
+				bestRatio = r
+			}
+		}
+		parts[v] = int32(best)
+		w[best] += h.Weight(v)
+	}
+	return parts
+}
+
+// fillRatio normalizes a part's weight by its target fraction.
+func fillRatio(w int64, k, p int, fracs []float64) float64 {
+	f := 1.0 / float64(k)
+	if fracs != nil {
+		f = fracs[p]
+	}
+	if f <= 0 {
+		f = 1e-9
+	}
+	return float64(w) / f
+}
+
+// capsForTargets returns per-part weight caps total*frac_p*(1+eps),
+// with uniform fractions when fracs is nil.
+func capsForTargets(h *hypergraph.Hypergraph, k int, eps float64, fracs []float64) []int64 {
+	if fracs == nil {
+		return capsFor(h, k, eps)
+	}
+	total := h.TotalWeight()
+	caps := make([]int64, k)
+	for p := range caps {
+		capv := int64(float64(total) * fracs[p] * (1 + eps))
+		if capv < 1 {
+			capv = 1
+		}
+		caps[p] = capv
+	}
+	return caps
+}
+
+// checkFractions validates Options.TargetFractions.
+func checkFractions(opt Options) error {
+	fr := opt.TargetFractions
+	if fr == nil {
+		return nil
+	}
+	if len(fr) != opt.K {
+		return fmt.Errorf("hgp: %d target fractions for K=%d parts", len(fr), opt.K)
+	}
+	sum := 0.0
+	for p, f := range fr {
+		if f <= 0 {
+			return fmt.Errorf("hgp: target fraction of part %d must be positive, got %v", p, f)
+		}
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		return fmt.Errorf("hgp: target fractions sum to %v, want ~1", sum)
+	}
+	return nil
+}
+
+// capsFor returns per-part weight caps W_avg*(1+eps).
+func capsFor(h *hypergraph.Hypergraph, k int, eps float64) []int64 {
+	total := h.TotalWeight()
+	caps := make([]int64, k)
+	capv := int64(float64(total) / float64(k) * (1 + eps))
+	if capv < 1 {
+		capv = 1
+	}
+	for p := range caps {
+		caps[p] = capv
+	}
+	return caps
+}
+
+func checkFixed(h *hypergraph.Hypergraph, k int) error {
+	if !h.HasFixed() {
+		return nil
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if f := h.Fixed(v); f != hypergraph.Free && (f < 0 || int(f) >= k) {
+			return fmt.Errorf("hgp: vertex %d fixed to part %d, want [0,%d)", v, f, k)
+		}
+	}
+	return nil
+}

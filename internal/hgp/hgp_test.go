@@ -1,0 +1,639 @@
+package hgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/partition"
+)
+
+// grid2D builds the hypergraph of a w x h 2D mesh (one 2-pin net per grid
+// edge) — a structure where good partitions are obvious (stripes).
+func grid2D(w, h int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddNet(1, id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddNet(1, id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomHG(rng *rand.Rand, n, nets, maxPins int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetWeight(v, int64(1+rng.Intn(4)))
+		b.SetSize(v, int64(1+rng.Intn(4)))
+	}
+	for i := 0; i < nets; i++ {
+		sz := 2 + rng.Intn(maxPins-1)
+		if sz > n {
+			sz = n
+		}
+		b.AddNet(int64(1+rng.Intn(3)), rng.Perm(n)[:sz]...)
+	}
+	return b.Build()
+}
+
+func TestPartitionBisection(t *testing.T) {
+	h := grid2D(16, 16)
+	p, err := Partition(h, Options{K: 2, Imbalance: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := partition.Weights(h, p)
+	if !partition.IsBalanced(w, 0.05) {
+		t.Fatalf("imbalanced: %v", w)
+	}
+	cut := partition.CutSize(h, p)
+	// A 16x16 grid has a 16-edge optimal bisection; multilevel should land
+	// within 2x of optimal.
+	if cut > 32 {
+		t.Fatalf("cut = %d, want <= 32", cut)
+	}
+}
+
+func TestPartitionKway(t *testing.T) {
+	h := grid2D(20, 20)
+	for _, k := range []int{3, 4, 8} {
+		p, err := Partition(h, Options{K: k, Imbalance: 0.05, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		w := partition.Weights(h, p)
+		if !partition.IsBalanced(w, 0.10) { // small slack over the 0.05 request
+			t.Fatalf("k=%d imbalanced: %v (imb=%.3f)", k, w, partition.Imbalance(w))
+		}
+		cut := partition.CutSize(h, p)
+		// each extra part boundary costs ~20; sanity bound
+		if cut > int64(60*k) {
+			t.Fatalf("k=%d cut = %d unreasonably high", k, cut)
+		}
+		// all parts non-trivially populated
+		for q, ww := range w {
+			if ww == 0 {
+				t.Fatalf("k=%d part %d empty", k, q)
+			}
+		}
+	}
+}
+
+func TestPartitionK1(t *testing.T) {
+	h := grid2D(4, 4)
+	p, err := Partition(h, Options{K: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range p.Parts {
+		if p.Parts[v] != 0 {
+			t.Fatal("K=1 must assign everything to part 0")
+		}
+	}
+}
+
+func TestPartitionDirectKway(t *testing.T) {
+	h := grid2D(12, 12)
+	p, err := Partition(h, Options{K: 4, Imbalance: 0.05, Seed: 5, DirectKway: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := partition.Weights(h, p)
+	if !partition.IsBalanced(w, 0.15) {
+		t.Fatalf("direct k-way imbalanced: %v", w)
+	}
+	if cut := partition.CutSize(h, p); cut > 150 {
+		t.Fatalf("direct k-way cut = %d too high", cut)
+	}
+}
+
+func TestFixedVerticesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randomHG(rng, 120, 200, 5)
+	k := 4
+	fixed := make([]int32, h.NumVertices())
+	for v := range fixed {
+		fixed[v] = hypergraph.Free
+	}
+	// fix 20 scattered vertices
+	fixedSet := map[int]int{}
+	for i := 0; i < 20; i++ {
+		v := rng.Intn(h.NumVertices())
+		p := rng.Intn(k)
+		fixed[v] = int32(p)
+		fixedSet[v] = p
+	}
+	hf := h.WithFixed(fixed)
+	p, err := Partition(hf, Options{K: k, Imbalance: 0.10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range fixedSet {
+		if p.Of(v) != want {
+			t.Fatalf("fixed vertex %d moved: fixed to %d, assigned %d", v, want, p.Of(v))
+		}
+	}
+}
+
+func TestFixedVerticesRespectedDirectKway(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := randomHG(rng, 100, 150, 4)
+	k := 3
+	fixed := make([]int32, h.NumVertices())
+	for v := range fixed {
+		fixed[v] = hypergraph.Free
+	}
+	for v := 0; v < 15; v++ {
+		fixed[v] = int32(v % k)
+	}
+	hf := h.WithFixed(fixed)
+	p, err := Partition(hf, Options{K: k, Imbalance: 0.10, Seed: 9, DirectKway: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 15; v++ {
+		if p.Of(v) != v%k {
+			t.Fatalf("fixed vertex %d at %d, want %d", v, p.Of(v), v%k)
+		}
+	}
+}
+
+func TestFixedOutOfRangeRejected(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.Fix(0, 7)
+	h := b.Build()
+	if _, err := Partition(h, Options{K: 2, Seed: 1}); err == nil {
+		t.Fatal("expected error for fixed part out of range")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h := randomHG(rng, 150, 250, 6)
+	p1, _ := Partition(h, Options{K: 4, Seed: 42})
+	p2, _ := Partition(h, Options{K: 4, Seed: 42})
+	for v := range p1.Parts {
+		if p1.Parts[v] != p2.Parts[v] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestIPMMatchLegality(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	h := randomHG(rng, 80, 120, 5)
+	fixed := make([]int32, 80)
+	for v := range fixed {
+		fixed[v] = hypergraph.Free
+	}
+	for v := 0; v < 30; v++ {
+		fixed[v] = int32(v % 3)
+	}
+	hf := h.WithFixed(fixed)
+	match := ipmMatch(hf, rng, 500, true)
+	for v := 0; v < 80; v++ {
+		u := int(match[v])
+		if u < 0 || u >= 80 {
+			t.Fatalf("match[%d] = %d out of range", v, u)
+		}
+		if int(match[u]) != v {
+			t.Fatalf("match not symmetric: match[%d]=%d match[%d]=%d", v, u, u, match[u])
+		}
+		if u != v {
+			fv, fu := hf.Fixed(v), hf.Fixed(u)
+			if fv != hypergraph.Free && fu != hypergraph.Free && fv != fu {
+				t.Fatalf("matched vertices %d,%d fixed to different parts %d,%d", v, u, fv, fu)
+			}
+		}
+	}
+}
+
+func TestContractConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	h := randomHG(rng, 100, 160, 6)
+	match := ipmMatch(h, rng, 500, true)
+	coarse, cmap := Contract(h, match)
+	if err := coarse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if coarse.TotalWeight() != h.TotalWeight() {
+		t.Fatalf("weight not conserved: %d -> %d", h.TotalWeight(), coarse.TotalWeight())
+	}
+	if coarse.TotalSize() != h.TotalSize() {
+		t.Fatalf("size not conserved: %d -> %d", h.TotalSize(), coarse.TotalSize())
+	}
+	// cmap is a valid surjection
+	seen := make([]bool, coarse.NumVertices())
+	for _, c := range cmap {
+		if c < 0 || int(c) >= coarse.NumVertices() {
+			t.Fatalf("cmap entry %d out of range", c)
+		}
+		seen[c] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("coarse vertex %d has no fine vertex", c)
+		}
+	}
+}
+
+// The key multilevel invariant: the cut of a coarse partition equals the
+// cut of its projection to the fine hypergraph. (Single-pin coarse nets
+// were dropped, but they are uncut by construction — all their fine pins
+// map to one coarse vertex... they can still be cut at fine level? No:
+// a net whose pins all collapse into one coarse vertex has all fine pins
+// in the same part after projection, so it is uncut. Identical-net merging
+// sums costs, preserving totals.)
+func TestProjectedCutInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		h := randomHG(rng, 60, 90, 5)
+		match := ipmMatch(h, rng, 500, true)
+		coarse, cmap := Contract(h, match)
+		k := 2 + rng.Intn(3)
+		cp := make([]int32, coarse.NumVertices())
+		for v := range cp {
+			cp[v] = int32(rng.Intn(k))
+		}
+		fp := project(cmap, cp)
+		cutCoarse := partition.CutSize(coarse, partition.Partition{Parts: cp, K: k})
+		cutFine := partition.CutSize(h, partition.Partition{Parts: fp, K: k})
+		if cutCoarse != cutFine {
+			t.Fatalf("trial %d: coarse cut %d != projected fine cut %d", trial, cutCoarse, cutFine)
+		}
+	}
+}
+
+func TestFM2NeverWorsensCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 10; trial++ {
+		h := randomHG(rng, 80, 140, 5)
+		parts := make([]int32, 80)
+		for v := range parts {
+			parts[v] = int32(rng.Intn(2))
+		}
+		fixed := make([]int32, 80)
+		for v := range fixed {
+			fixed[v] = hypergraph.Free
+		}
+		before := partition.CutSize(h, partition.Partition{Parts: append([]int32(nil), parts...), K: 2})
+		total := h.TotalWeight()
+		cap := int64(float64(total) * 0.55)
+		fm2(h, parts, fixed, cap, cap, 4, 500)
+		after := partition.CutSize(h, partition.Partition{Parts: parts, K: 2})
+		if after > before {
+			t.Fatalf("trial %d: FM worsened cut %d -> %d", trial, before, after)
+		}
+	}
+}
+
+func TestFM2RespectsFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	h := randomHG(rng, 60, 100, 4)
+	parts := make([]int32, 60)
+	fixed := make([]int32, 60)
+	for v := range parts {
+		parts[v] = int32(rng.Intn(2))
+		fixed[v] = hypergraph.Free
+	}
+	for v := 0; v < 10; v++ {
+		fixed[v] = parts[v]
+	}
+	want := append([]int32(nil), parts[:10]...)
+	total := h.TotalWeight()
+	cap := int64(float64(total) * 0.6)
+	fm2(h, parts, fixed, cap, cap, 4, 500)
+	for v := 0; v < 10; v++ {
+		if parts[v] != want[v] {
+			t.Fatalf("FM moved fixed vertex %d", v)
+		}
+	}
+}
+
+func TestRefineKwayNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 8; trial++ {
+		h := randomHG(rng, 70, 110, 5)
+		k := 3 + rng.Intn(3)
+		parts := make([]int32, 70)
+		for v := range parts {
+			parts[v] = int32(rng.Intn(k))
+		}
+		before := partition.CutSize(h, partition.Partition{Parts: append([]int32(nil), parts...), K: k})
+		caps := capsFor(h, k, 0.3)
+		refineKway(h, k, parts, caps, 4)
+		after := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+		if after > before {
+			t.Fatalf("trial %d: k-way refinement worsened cut %d -> %d", trial, before, after)
+		}
+	}
+}
+
+func TestKwayStateIncrementalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	h := randomHG(rng, 50, 80, 5)
+	k := 4
+	parts := make([]int32, 50)
+	for v := range parts {
+		parts[v] = int32(rng.Intn(k))
+	}
+	s := NewKwayState(h, k, parts)
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(50)
+		to := int32(rng.Intn(k))
+		g := s.MoveGain(v, to)
+		before := s.Cut()
+		s.Move(v, to)
+		after := s.Cut()
+		if before-after != g {
+			t.Fatalf("move %d: gain %d but cut delta %d", i, g, before-after)
+		}
+		// cross-check against the reference metric
+		ref := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+		if after != ref {
+			t.Fatalf("incremental cut %d != reference %d", after, ref)
+		}
+	}
+}
+
+func TestGHGReachesTarget(t *testing.T) {
+	h := grid2D(10, 10)
+	rng := rand.New(rand.NewSource(22))
+	fixed := make([]int32, 100)
+	for v := range fixed {
+		fixed[v] = hypergraph.Free
+	}
+	parts := ghg2(h, rng, fixed, 50, 55, 55, 500)
+	var w0 int64
+	for v, p := range parts {
+		if p == 0 {
+			w0 += h.Weight(v)
+		}
+	}
+	if w0 < 45 || w0 > 55 {
+		t.Fatalf("GHG side-0 weight %d, want ~50", w0)
+	}
+}
+
+func TestGHGFixedSeedsAndExclusions(t *testing.T) {
+	h := grid2D(8, 8)
+	rng := rand.New(rand.NewSource(24))
+	fixed := make([]int32, 64)
+	for v := range fixed {
+		fixed[v] = hypergraph.Free
+	}
+	fixed[0] = 0  // must end on side 0
+	fixed[63] = 1 // must never be absorbed
+	parts := ghg2(h, rng, fixed, 32, 36, 36, 500)
+	if parts[0] != 0 {
+		t.Fatal("side-0 fixed vertex not on side 0")
+	}
+	if parts[63] != 1 {
+		t.Fatal("side-1 fixed vertex absorbed into side 0")
+	}
+}
+
+func TestBisectionEps(t *testing.T) {
+	if e := bisectionEps(0.05, 2); e != 0.05 {
+		t.Fatalf("k=2 eps = %v", e)
+	}
+	if e := bisectionEps(0.08, 16); e < 0.01 || e > 0.02+1e-9 {
+		t.Fatalf("k=16 eps = %v, want 0.02", e)
+	}
+	if e := bisectionEps(0.001, 64); e != 0.01 {
+		t.Fatalf("tiny eps should clamp to 0.01, got %v", e)
+	}
+}
+
+func TestMatchFilterAblation(t *testing.T) {
+	// With the filter disabled and no fixed vertices, partitioning still
+	// works; this is the A1 ablation configuration.
+	h := grid2D(12, 12)
+	p, err := Partition(h, Options{K: 4, Seed: 30, DisableMatchFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Partitioning a hypergraph derived from a graph should behave sensibly too
+// (exercises the 2-pin-net fast paths).
+func TestPartitionFromGraph(t *testing.T) {
+	gb := graph.NewBuilder(64)
+	for i := 0; i < 64; i++ {
+		if i+1 < 64 {
+			gb.AddEdge(i, i+1, 1)
+		}
+		if i+8 < 64 {
+			gb.AddEdge(i, i+8, 1)
+		}
+	}
+	h := graph.ToHypergraph(gb.Build())
+	p, err := Partition(h, Options{K: 2, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := partition.CutSize(h, p); cut > 16 {
+		t.Fatalf("8x8 grid bisection cut = %d, want <= 16", cut)
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	h := hypergraph.NewBuilder(0).Build()
+	p, err := Partition(h, Options{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Parts) != 0 {
+		t.Fatal("expected empty partition")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	h := hypergraph.NewBuilder(1).Build()
+	p, err := Partition(h, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKwayFMPolish(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	h := randomHG(rng, 150, 250, 6)
+	k := 4
+	// FM polish never worsens a random partition and respects caps roughly.
+	parts := make([]int32, 150)
+	for v := range parts {
+		parts[v] = int32(rng.Intn(k))
+	}
+	before := partition.CutSize(h, partition.Partition{Parts: append([]int32(nil), parts...), K: k})
+	caps := capsFor(h, k, 0.4)
+	refineKwayFM(h, k, parts, caps, 4)
+	after := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
+	if after > before {
+		t.Fatalf("k-way FM worsened cut %d -> %d", before, after)
+	}
+	// end-to-end through Options
+	p, err := Partition(h, Options{K: k, Seed: 61, KwayFM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKwayFMRespectsFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	h := randomHG(rng, 100, 150, 5)
+	fixed := make([]int32, 100)
+	for v := range fixed {
+		fixed[v] = hypergraph.Free
+	}
+	for v := 0; v < 20; v++ {
+		fixed[v] = int32(v % 3)
+	}
+	hf := h.WithFixed(fixed)
+	parts := make([]int32, 100)
+	for v := range parts {
+		parts[v] = int32(rng.Intn(3))
+		if fixed[v] != hypergraph.Free {
+			parts[v] = fixed[v]
+		}
+	}
+	caps := capsFor(hf, 3, 0.5)
+	refineKwayFM(hf, 3, parts, caps, 3)
+	for v := 0; v < 20; v++ {
+		if parts[v] != fixed[v] {
+			t.Fatalf("FM moved fixed vertex %d", v)
+		}
+	}
+}
+
+func TestVCycleNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 5; trial++ {
+		h := randomHG(rng, 200, 350, 5)
+		k := 2 + rng.Intn(4)
+		p, err := Partition(h, Options{K: k, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := partition.CutSize(h, p)
+		pv, err := PartitionWithVCycles(h, Options{K: k, Seed: int64(trial)}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := partition.CutSize(h, pv)
+		if after > before {
+			t.Fatalf("trial %d: V-cycles worsened cut %d -> %d", trial, before, after)
+		}
+		if err := pv.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		w := partition.Weights(h, pv)
+		if !partition.IsBalanced(w, 0.25) {
+			t.Fatalf("trial %d: V-cycle output imbalanced %v", trial, w)
+		}
+	}
+}
+
+func TestVCycleRespectsFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	h := randomHG(rng, 150, 220, 5)
+	k := 3
+	fixed := make([]int32, 150)
+	for v := range fixed {
+		fixed[v] = hypergraph.Free
+	}
+	for v := 0; v < 24; v++ {
+		fixed[v] = int32(v % k)
+	}
+	hf := h.WithFixed(fixed)
+	p, err := PartitionWithVCycles(hf, Options{K: k, Seed: 73}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 24; v++ {
+		if p.Of(v) != v%k {
+			t.Fatalf("V-cycle moved fixed vertex %d to %d", v, p.Of(v))
+		}
+	}
+}
+
+func TestVCycleZeroCyclesIsPlainPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	h := randomHG(rng, 80, 120, 4)
+	p1, _ := Partition(h, Options{K: 4, Seed: 75})
+	p2, _ := PartitionWithVCycles(h, Options{K: 4, Seed: 75}, 0)
+	for v := range p1.Parts {
+		if p1.Parts[v] != p2.Parts[v] {
+			t.Fatal("0 cycles must equal plain Partition")
+		}
+	}
+}
+
+func TestTargetFractions(t *testing.T) {
+	h := grid2D(24, 24) // 576 unit-weight vertices
+	fracs := []float64{0.5, 0.25, 0.125, 0.125}
+	p, err := Partition(h, Options{K: 4, Imbalance: 0.05, Seed: 81, TargetFractions: fracs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := partition.Weights(h, p)
+	total := float64(h.TotalWeight())
+	for q, f := range fracs {
+		got := float64(w[q]) / total
+		if got < f*0.85 || got > f*1.15 {
+			t.Fatalf("part %d got %.3f of total weight, want ~%.3f (weights %v)", q, got, f, w)
+		}
+	}
+}
+
+func TestTargetFractionsValidation(t *testing.T) {
+	h := grid2D(4, 4)
+	if _, err := Partition(h, Options{K: 3, TargetFractions: []float64{0.5, 0.5}}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := Partition(h, Options{K: 2, TargetFractions: []float64{0.9, 0.9}}); err == nil {
+		t.Fatal("expected sum error")
+	}
+	if _, err := Partition(h, Options{K: 2, TargetFractions: []float64{1.0, 0.0}}); err == nil {
+		t.Fatal("expected positivity error")
+	}
+}
+
+func TestTargetFractionsDirectKway(t *testing.T) {
+	h := grid2D(20, 20)
+	fracs := []float64{0.4, 0.3, 0.3}
+	p, err := Partition(h, Options{K: 3, Seed: 83, DirectKway: true, TargetFractions: fracs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := partition.Weights(h, p)
+	total := float64(h.TotalWeight())
+	for q, f := range fracs {
+		got := float64(w[q]) / total
+		if got < f*0.75 || got > f*1.25 {
+			t.Fatalf("direct k-way part %d got %.3f, want ~%.3f (%v)", q, got, f, w)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package hgp implements serial multilevel hypergraph partitioning with
+// fixed vertices, following Section 4 of the paper: inner-product-matching
+// (IPM) coarsening with a fixed-compatibility match filter, randomized
+// greedy hypergraph growing for the coarse solution, Fiduccia–Mattheyses
+// refinement with pass-pairs, and k-way partitioning via recursive
+// bisection with fixed-label folding (Zoltan's approach) or a direct
+// k-way driver.
+package hgp
+
+import (
+	"math"
+)
+
+// Options control the multilevel partitioner.
+type Options struct {
+	// K is the number of parts. Required, >= 1.
+	K int
+	// Imbalance is the allowed imbalance epsilon of Eq. 1 (e.g. 0.05).
+	Imbalance float64
+	// Seed makes runs deterministic.
+	Seed int64
+	// CoarsenTo stops coarsening when the hypergraph has at most this many
+	// vertices (before the 2K floor). Default 100.
+	CoarsenTo int
+	// MinShrink aborts coarsening when a level shrinks the vertex count by
+	// less than this fraction (paper: typically 10%). Default 0.10.
+	MinShrink float64
+	// InitialStarts is the number of randomized greedy-growing starts at the
+	// coarsest level. Default 8.
+	InitialStarts int
+	// RefinePasses bounds FM pass-pairs per level. Default 4.
+	RefinePasses int
+	// MaxNetSize: nets larger than this are skipped during IPM scoring and
+	// FM gain updates (they rarely influence local decisions and dominate
+	// run time). Default 500. The cut metric always counts them.
+	MaxNetSize int
+	// DirectKway selects the direct k-way driver instead of recursive
+	// bisection. Recursive bisection is the default (as in Zoltan).
+	DirectKway bool
+	// KwayFM selects the bucket/heap boundary FM for the k-way polish
+	// passes instead of the greedy sweep (slower, sometimes better; the
+	// A5 ablation).
+	KwayFM bool
+	// TargetFractions optionally sets non-uniform part sizes (heterogeneous
+	// processors, as Zoltan's part-size interface allows): entry p is the
+	// fraction of total vertex weight part p should receive. Must have
+	// length K and sum to ~1. Nil means uniform 1/K parts (Eq. 1).
+	TargetFractions []float64
+	// DisableMatchFilter turns off the fixed-vertex compatibility filter in
+	// coarsening (for the A1 ablation only; produces invalid partitions if
+	// fixed vertices exist and the filter is off at coarse-solution time,
+	// so fixed assignment is still enforced there).
+	DisableMatchFilter bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 1
+	}
+	if o.Imbalance <= 0 {
+		o.Imbalance = 0.05
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 100
+	}
+	if o.MinShrink <= 0 {
+		o.MinShrink = 0.10
+	}
+	if o.InitialStarts <= 0 {
+		o.InitialStarts = 8
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 4
+	}
+	if o.MaxNetSize <= 0 {
+		o.MaxNetSize = 500
+	}
+	return o
+}
+
+// bisectionEps spreads the global imbalance budget over the levels of
+// recursive bisection so the final k-way partition meets Eq. 1.
+func bisectionEps(globalEps float64, k int) float64 {
+	if k <= 2 {
+		return globalEps
+	}
+	levels := math.Ceil(math.Log2(float64(k)))
+	e := globalEps / levels
+	if e < 0.01 {
+		e = 0.01
+	}
+	return e
+}

@@ -1,0 +1,113 @@
+package hgp
+
+import (
+	"math/rand"
+	"sort"
+
+	"hyperbal/internal/hypergraph"
+)
+
+// recursiveBisect partitions the vertex subset vs (global vertex ids) of
+// the original hypergraph into parts [lo, hi), writing assignments into
+// out. sub is the sub-hypergraph induced by vs (sub vertex i == global
+// vertex vs[i]). Fixed labels on sub are original part ids; they are folded
+// per Section 4.4 at each bisection.
+func recursiveBisect(sub *hypergraph.Hypergraph, vs []int32, lo, hi int, out []int32, rng *rand.Rand, eps float64, fracs []float64, opt Options) {
+	k := hi - lo
+	if k <= 1 || sub.NumVertices() == 0 {
+		for _, v := range vs {
+			out[v] = int32(lo)
+		}
+		return
+	}
+	kLeft := (k + 1) / 2
+	mid := lo + kLeft
+	// Side-0 target = its parts' share of the range's total target mass
+	// (uniform 1/k parts when fracs is nil).
+	frac0 := float64(kLeft) / float64(k)
+	if fracs != nil {
+		var left, all float64
+		for p := lo; p < hi; p++ {
+			all += fracs[p]
+			if p < mid {
+				left += fracs[p]
+			}
+		}
+		if all > 0 {
+			frac0 = left / all
+		}
+	}
+
+	// Fold fixed labels: parts [lo,mid) -> side 0, [mid,hi) -> side 1.
+	fixedSide := make([]int32, sub.NumVertices())
+	for v := range fixedSide {
+		f := sub.Fixed(v)
+		switch {
+		case f == hypergraph.Free:
+			fixedSide[v] = hypergraph.Free
+		case int(f) < mid:
+			fixedSide[v] = 0
+		default:
+			fixedSide[v] = 1
+		}
+	}
+
+	sides := bisect(sub, rng, fixedSide, frac0, eps, opt)
+
+	if k == 2 {
+		for i, v := range vs {
+			out[v] = int32(lo + int(sides[i]))
+		}
+		return
+	}
+	left, leftVs := induce(sub, vs, sides, 0)
+	right, rightVs := induce(sub, vs, sides, 1)
+	recursiveBisect(left, leftVs, lo, mid, out, rng, eps, fracs, opt)
+	recursiveBisect(right, rightVs, mid, hi, out, rng, eps, fracs, opt)
+}
+
+// induce extracts the side sub-hypergraph: vertices of sub on the given
+// side, nets restricted to pins on that side (nets reduced below two pins
+// are dropped; they can no longer be cut within the side). Fixed labels
+// (original part ids) carry over. The returned vertex list maps new sub
+// indices to global ids.
+func induce(sub *hypergraph.Hypergraph, vs []int32, sides []int32, side int32) (*hypergraph.Hypergraph, []int32) {
+	newID := make([]int32, sub.NumVertices())
+	for i := range newID {
+		newID[i] = -1
+	}
+	var keepVs []int32
+	for v := 0; v < sub.NumVertices(); v++ {
+		if sides[v] == side {
+			newID[v] = int32(len(keepVs))
+			keepVs = append(keepVs, vs[v])
+		}
+	}
+	b := hypergraph.NewBuilder(len(keepVs))
+	for v := 0; v < sub.NumVertices(); v++ {
+		if newID[v] < 0 {
+			continue
+		}
+		i := int(newID[v])
+		b.SetWeight(i, sub.Weight(v))
+		b.SetSize(i, sub.Size(v))
+		if f := sub.Fixed(v); f != hypergraph.Free {
+			b.Fix(i, int(f))
+		}
+	}
+	pins := make([]int32, 0, 64)
+	for n := 0; n < sub.NumNets(); n++ {
+		pins = pins[:0]
+		for _, p := range sub.Pins(n) {
+			if newID[p] >= 0 {
+				pins = append(pins, newID[p])
+			}
+		}
+		if len(pins) >= 2 {
+			sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+			b.AddNetInt32(sub.Cost(n), pins) // builder copies the pin values
+
+		}
+	}
+	return b.Build(), keepVs
+}

@@ -1,0 +1,161 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a superset of the classic hMETIS format:
+//
+//	% comment lines start with '%'
+//	<numNets> <numVertices> [fmtcode]
+//	<net lines: [cost] v1 v2 ... (1-based vertex ids)>
+//	<vertex weight lines, one per vertex, if fmtcode has weights>
+//	<vertex size lines, one per vertex, if fmtcode has sizes>
+//
+// fmtcode is a string of flags: "1" net costs present, "10" vertex weights
+// present, "11" both, and hyperbal's extension "111" adds vertex sizes.
+
+// WriteText serializes h in the text format described above. Fixed-vertex
+// labels are not serialized; they are runtime state.
+func WriteText(w io.Writer, h *Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%% hyperbal hypergraph: %d nets %d vertices %d pins\n",
+		h.NumNets(), h.NumVertices(), h.NumPins())
+	fmt.Fprintf(bw, "%d %d 111\n", h.NumNets(), h.NumVertices())
+	for n := 0; n < h.NumNets(); n++ {
+		fmt.Fprintf(bw, "%d", h.Cost(n))
+		for _, v := range h.Pins(n) {
+			fmt.Fprintf(bw, " %d", v+1)
+		}
+		fmt.Fprintln(bw)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		fmt.Fprintln(bw, h.Weight(v))
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		fmt.Fprintln(bw, h.Size(v))
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format written by WriteText (and plain hMETIS
+// files with fmtcodes "", "1", "10", "11").
+func ReadText(r io.Reader) (*Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("hypergraph: bad header %q", line)
+	}
+	numNets, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: bad net count: %w", err)
+	}
+	numVertices, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("hypergraph: bad vertex count: %w", err)
+	}
+	if numNets < 0 || numVertices < 0 {
+		return nil, fmt.Errorf("hypergraph: negative counts in header %q", line)
+	}
+	fmtcode := ""
+	if len(fields) >= 3 {
+		fmtcode = fields[2]
+	}
+	hasCosts := strings.HasSuffix(fmtcode, "1")
+	hasWeights := len(fmtcode) >= 2 && fmtcode[len(fmtcode)-2] == '1'
+	hasSizes := len(fmtcode) >= 3 && fmtcode[len(fmtcode)-3] == '1'
+
+	b := NewBuilder(numVertices)
+	for n := 0; n < numNets; n++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("hypergraph: net %d: %w", n, err)
+		}
+		nums, err := parseInts(line)
+		if err != nil {
+			return nil, fmt.Errorf("hypergraph: net %d: %w", n, err)
+		}
+		cost := int64(1)
+		if hasCosts {
+			if len(nums) < 1 {
+				return nil, fmt.Errorf("hypergraph: net %d: missing cost", n)
+			}
+			cost = nums[0]
+			nums = nums[1:]
+		}
+		if len(nums) == 0 {
+			return nil, fmt.Errorf("hypergraph: net %d is empty", n)
+		}
+		pins := make([]int, len(nums))
+		for i, x := range nums {
+			if x < 1 || x > int64(numVertices) {
+				return nil, fmt.Errorf("hypergraph: net %d: pin %d out of range", n, x)
+			}
+			pins[i] = int(x - 1)
+		}
+		b.AddNet(cost, pins...)
+	}
+	if hasWeights {
+		for v := 0; v < numVertices; v++ {
+			x, err := readOneInt(sc)
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: weight of vertex %d: %w", v, err)
+			}
+			b.SetWeight(v, x)
+		}
+	}
+	if hasSizes {
+		for v := 0; v < numVertices; v++ {
+			x, err := readOneInt(sc)
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: size of vertex %d: %w", v, err)
+			}
+			b.SetSize(v, x)
+		}
+	}
+	return b.Build(), nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+func parseInts(line string) ([]int64, error) {
+	fields := strings.Fields(line)
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		x, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+func readOneInt(sc *bufio.Scanner) (int64, error) {
+	line, err := nextLine(sc)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(strings.Fields(line)[0], 10, 64)
+}

@@ -1,0 +1,58 @@
+package hypergraph
+
+// Stats summarizes structural properties of a hypergraph, mirroring the
+// columns of Table 1 in the paper (vertex counts, edge counts, degree
+// minimum/maximum/average).
+type Stats struct {
+	NumVertices int
+	NumNets     int
+	NumPins     int
+	MinDegree   int
+	MaxDegree   int
+	AvgDegree   float64
+	MinNetSize  int
+	MaxNetSize  int
+	AvgNetSize  float64
+	TotalWeight int64
+	TotalSize   int64
+	TotalCost   int64
+}
+
+// ComputeStats scans h once and returns its summary statistics.
+func ComputeStats(h *Hypergraph) Stats {
+	s := Stats{
+		NumVertices: h.NumVertices(),
+		NumNets:     h.NumNets(),
+		NumPins:     h.NumPins(),
+		TotalWeight: h.TotalWeight(),
+		TotalSize:   h.TotalSize(),
+		TotalCost:   h.TotalCost(),
+	}
+	if s.NumVertices > 0 {
+		s.MinDegree = h.Degree(0)
+		for v := 0; v < s.NumVertices; v++ {
+			d := h.Degree(v)
+			if d < s.MinDegree {
+				s.MinDegree = d
+			}
+			if d > s.MaxDegree {
+				s.MaxDegree = d
+			}
+		}
+		s.AvgDegree = float64(s.NumPins) / float64(s.NumVertices)
+	}
+	if s.NumNets > 0 {
+		s.MinNetSize = h.NetSize(0)
+		for n := 0; n < s.NumNets; n++ {
+			sz := h.NetSize(n)
+			if sz < s.MinNetSize {
+				s.MinNetSize = sz
+			}
+			if sz > s.MaxNetSize {
+				s.MaxNetSize = sz
+			}
+		}
+		s.AvgNetSize = float64(s.NumPins) / float64(s.NumNets)
+	}
+	return s
+}

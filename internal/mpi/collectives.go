@@ -1,0 +1,197 @@
+package mpi
+
+// Typed collectives. All of them must be called by every rank of the
+// communicator, in the same order (standard MPI discipline). Simple
+// root-centralized algorithms: correctness and traffic accounting matter
+// here, not message-complexity asymptotics.
+
+// Bcast distributes root's value to every rank and returns it.
+func Bcast[T any](c *Comm, root int, v T) T {
+	if c.size == 1 {
+		return v
+	}
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, v)
+			}
+		}
+		return v
+	}
+	return c.Recv(root, tagBcast).(T)
+}
+
+// BcastSlice distributes root's slice; non-root ranks receive a copy they
+// own.
+func BcastSlice[T any](c *Comm, root int, v []T) []T {
+	if c.size == 1 {
+		return v
+	}
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, append([]T(nil), v...))
+			}
+		}
+		return v
+	}
+	return c.Recv(root, tagBcast).([]T)
+}
+
+// Gather collects one value per rank at root (rank order). Non-root ranks
+// receive nil.
+func Gather[T any](c *Comm, root int, v T) []T {
+	if c.rank == root {
+		out := make([]T, c.size)
+		out[root] = v
+		for r := 0; r < c.size; r++ {
+			if r != root {
+				out[r] = c.Recv(r, tagGather).(T)
+			}
+		}
+		return out
+	}
+	c.Send(root, tagGather, v)
+	return nil
+}
+
+// Allgather collects one value per rank, in rank order, on every rank.
+func Allgather[T any](c *Comm, v T) []T {
+	all := Gather(c, 0, v)
+	return BcastSlice(c, 0, all)
+}
+
+// GatherSlice concatenates variable-length per-rank slices at root in rank
+// order, also returning the per-rank counts. Non-root ranks receive nils.
+func GatherSlice[T any](c *Comm, root int, v []T) (concat []T, counts []int) {
+	parts := Gather(c, root, v)
+	if c.rank != root {
+		return nil, nil
+	}
+	counts = make([]int, c.size)
+	for r, p := range parts {
+		counts[r] = len(p)
+		concat = append(concat, p...)
+	}
+	return concat, counts
+}
+
+// AllgatherSlice concatenates per-rank slices on every rank (rank order),
+// also returning per-rank counts.
+func AllgatherSlice[T any](c *Comm, v []T) (concat []T, counts []int) {
+	concat, counts = GatherSlice(c, 0, v)
+	concat = BcastSlice(c, 0, concat)
+	counts = BcastSlice(c, 0, counts)
+	return concat, counts
+}
+
+// Reduce folds one value per rank at root with op (applied in rank order).
+// Non-root ranks receive the zero value.
+func Reduce[T any](c *Comm, root int, v T, op func(T, T) T) T {
+	all := Gather(c, root, v)
+	if c.rank != root {
+		var zero T
+		return zero
+	}
+	acc := all[0]
+	for _, x := range all[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// Allreduce folds one value per rank with op and distributes the result.
+func Allreduce[T any](c *Comm, v T, op func(T, T) T) T {
+	acc := Reduce(c, 0, v, op)
+	return Bcast(c, 0, acc)
+}
+
+// AllreduceSlice folds equal-length slices elementwise with op and
+// distributes the result (like MPI_Allreduce over an array).
+func AllreduceSlice[T any](c *Comm, v []T, op func(T, T) T) []T {
+	all := Gather(c, 0, v)
+	var acc []T
+	if c.rank == 0 {
+		acc = append([]T(nil), all[0]...)
+		for _, x := range all[1:] {
+			for i := range acc {
+				acc[i] = op(acc[i], x[i])
+			}
+		}
+	}
+	return BcastSlice(c, 0, acc)
+}
+
+// ExclusiveScan returns the prefix fold of v over ranks below the caller
+// (the zero value on rank 0), like MPI_Exscan.
+func ExclusiveScan[T any](c *Comm, v T, op func(T, T) T) T {
+	all := Allgather(c, v)
+	var acc T
+	for r := 0; r < c.rank; r++ {
+		if r == 0 {
+			acc = all[0]
+		} else {
+			acc = op(acc, all[r])
+		}
+	}
+	return acc
+}
+
+// Alltoall delivers sendbuf[r] to rank r; returns the values received,
+// indexed by source rank.
+func Alltoall[T any](c *Comm, sendbuf []T) []T {
+	if len(sendbuf) != c.size {
+		panic("mpi: Alltoall sendbuf length must equal communicator size")
+	}
+	// route through rank-ordered point-to-point with deterministic order:
+	// send ascending, receive ascending; self-delivery is local.
+	out := make([]T, c.size)
+	out[c.rank] = sendbuf[c.rank]
+	for r := 0; r < c.size; r++ {
+		if r != c.rank {
+			c.Send(r, tagGather, sendbuf[r])
+		}
+	}
+	for r := 0; r < c.size; r++ {
+		if r != c.rank {
+			out[r] = c.Recv(r, tagGather).(T)
+		}
+	}
+	return out
+}
+
+// MinLoc reduction helper: value with the lowest key wins; ties go to the
+// lowest rank (deterministic leader election for multi-start solves).
+type MinLoc struct {
+	Key  int64
+	Rank int
+}
+
+// AllreduceMinLoc returns the MinLoc winner across ranks.
+func AllreduceMinLoc(c *Comm, key int64) MinLoc {
+	return Allreduce(c, MinLoc{Key: key, Rank: c.rank}, func(a, b MinLoc) MinLoc {
+		if b.Key < a.Key || (b.Key == a.Key && b.Rank < a.Rank) {
+			return b
+		}
+		return a
+	})
+}
+
+// SumInt64 is the int64 addition operator for reductions.
+func SumInt64(a, b int64) int64 { return a + b }
+
+// MaxInt64 is the int64 max operator for reductions.
+func MaxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinInt64 is the int64 min operator for reductions.
+func MinInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

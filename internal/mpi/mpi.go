@@ -1,0 +1,247 @@
+// Package mpi is an in-process message-passing substrate standing in for
+// MPI (the paper's code "is written in C and uses MPI for communication";
+// Go has no mature MPI binding, so the SPMD algorithms in this repository
+// run on this substrate instead). Ranks are goroutines; a Comm carries
+// point-to-point typed messages and the usual collective operations.
+//
+// Semantics follow MPI where it matters for the algorithms:
+//
+//   - Send is buffered and non-blocking up to the channel capacity;
+//     messages between a pair of ranks are delivered in order.
+//   - Recv(src, tag) blocks for the next message from src and verifies the
+//     tag, panicking on protocol mismatches (a deliberate fail-fast stance:
+//     a tag mismatch is a bug in the algorithm, not a runtime condition).
+//   - Ownership of slice payloads transfers with the message: the sender
+//     must not mutate a sent buffer (MPI_Send's "don't touch the buffer
+//     until complete" rule, made permanent).
+//
+// Collectives are implemented with simple root-centralized algorithms;
+// asymptotic message complexity is not the point of this substrate, but
+// per-rank traffic is accounted (Stats) so experiments can report
+// communication volume of the partitioner itself.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats accumulates substrate traffic, shared by all Comms of a World.
+type Stats struct {
+	Messages atomic.Int64
+	Bytes    atomic.Int64
+}
+
+type message struct {
+	tag  int
+	data any
+}
+
+// Comm is a communicator over a group of ranks. All collective methods
+// must be called by every rank of the communicator.
+type Comm struct {
+	rank  int
+	size  int
+	chans [][]chan message // chans[src][dst]
+	stats *Stats
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Stats returns the world-level traffic counters.
+func (c *Comm) Stats() *Stats { return c.stats }
+
+const chanCap = 1024
+
+// Run launches an n-rank SPMD world and waits for all ranks to finish.
+// Each rank runs fn with its own Comm. The first non-nil error is
+// returned. Panics in ranks propagate.
+func Run(n int, fn func(c *Comm) error) error {
+	_, err := RunStats(n, fn)
+	return err
+}
+
+// RunStats is Run, also returning the world's traffic counters.
+func RunStats(n int, fn func(c *Comm) error) (*Stats, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpi: world size must be >= 1, got %d", n)
+	}
+	stats := &Stats{}
+	chans := newChanMatrix(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{rank: rank, size: n, chans: chans, stats: stats}
+			errs[rank] = fn(c)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+func newChanMatrix(n int) [][]chan message {
+	chans := make([][]chan message, n)
+	for i := range chans {
+		chans[i] = make([]chan message, n)
+		for j := range chans[i] {
+			chans[i][j] = make(chan message, chanCap)
+		}
+	}
+	return chans
+}
+
+// Send delivers data to dst with the given tag. Ownership of slice
+// payloads transfers to the receiver.
+func (c *Comm) Send(dst, tag int, data any) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mpi: send to rank %d, world size %d", dst, c.size))
+	}
+	c.stats.Messages.Add(1)
+	c.stats.Bytes.Add(payloadBytes(data))
+	c.chans[c.rank][dst] <- message{tag: tag, data: data}
+}
+
+// Recv blocks for the next message from src and returns its payload,
+// panicking if the tag differs (protocol error).
+func (c *Comm) Recv(src, tag int) any {
+	if src < 0 || src >= c.size {
+		panic(fmt.Sprintf("mpi: recv from rank %d, world size %d", src, c.size))
+	}
+	m := <-c.chans[src][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// payloadBytes approximates the wire size of common payload types.
+func payloadBytes(data any) int64 {
+	switch v := data.(type) {
+	case nil:
+		return 0
+	case []int32:
+		return int64(4 * len(v))
+	case []int64:
+		return int64(8 * len(v))
+	case []float64:
+		return int64(8 * len(v))
+	case []byte:
+		return int64(len(v))
+	case int, int64, float64:
+		return 8
+	case int32, float32:
+		return 4
+	case bool:
+		return 1
+	default:
+		return 8 // opaque scalar assumption
+	}
+}
+
+// Split partitions the communicator into disjoint sub-communicators by
+// color (ranks passing the same color share a new Comm; ranks are ordered
+// by key, ties by old rank). Every rank of c must call Split. A negative
+// color returns nil (the rank does not participate; mirrors
+// MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct{ color, key, rank int }
+	all := AllgatherAny(c, entry{color, key, c.rank}).([]entry)
+	if color < 0 {
+		return nil
+	}
+	var members []entry
+	for _, e := range all {
+		if e.color == color {
+			members = append(members, e)
+		}
+	}
+	// order by (key, rank)
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && (members[j].key < members[j-1].key ||
+			(members[j].key == members[j-1].key && members[j].rank < members[j-1].rank)); j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	newRank := -1
+	for i, e := range members {
+		if e.rank == c.rank {
+			newRank = i
+		}
+	}
+	// The split communicator gets fresh channels. Build them cooperatively:
+	// the lowest old rank of each color allocates and distributes.
+	sub := &Comm{rank: newRank, size: len(members), stats: c.stats}
+	if newRank == 0 {
+		sub.chans = newChanMatrix(len(members))
+		for i := 1; i < len(members); i++ {
+			c.Send(members[i].rank, tagSplit, sub.chans)
+		}
+	} else {
+		sub.chans = c.Recv(members[0].rank, tagSplit).([][]chan message)
+	}
+	return sub
+}
+
+// Internal collective tags (user tags are free-form; collisions avoided by
+// the strict matched-order discipline).
+const (
+	tagSplit = -1000 - iota
+	tagBarrier
+	tagGather
+	tagBcast
+	tagAllgatherAny
+)
+
+// Barrier blocks until every rank of c has entered it.
+func (c *Comm) Barrier() {
+	if c.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.size; r++ {
+			c.Recv(r, tagBarrier)
+		}
+		for r := 1; r < c.size; r++ {
+			c.Send(r, tagBarrier, nil)
+		}
+	} else {
+		c.Send(0, tagBarrier, nil)
+		c.Recv(0, tagBarrier)
+	}
+}
+
+// AllgatherAny gathers one opaque value per rank, in rank order, to every
+// rank. The return value is a slice of the element's dynamic type (e.g.
+// []entry), produced with a small reflection-free trick: rank 0 assembles
+// a []any and each rank converts; to keep call sites typed, prefer the
+// generic Allgather for concrete element types. This variant exists for
+// internal structural payloads.
+func AllgatherAny[T any](c *Comm, v T) any {
+	out := make([]T, c.size)
+	if c.rank == 0 {
+		out[0] = v
+		for r := 1; r < c.size; r++ {
+			out[r] = c.Recv(r, tagAllgatherAny).(T)
+		}
+		for r := 1; r < c.size; r++ {
+			c.Send(r, tagAllgatherAny, append([]T(nil), out...))
+		}
+	} else {
+		c.Send(0, tagAllgatherAny, v)
+		out = c.Recv(0, tagAllgatherAny).([]T)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"hyperbal/internal/hypergraph"
+)
+
+// CommMatrix returns the per-part-pair communication volume implied by a
+// partition under the owner-sends model the application simulator uses:
+// for each net, the part owning the net's first pin sends the net's cost
+// to every other part the net touches. Entry [p][q] is the volume part p
+// sends part q per iteration; the total over all entries equals the
+// connectivity-1 cut.
+func CommMatrix(h *hypergraph.Hypergraph, p Partition) [][]int64 {
+	m := make([][]int64, p.K)
+	for i := range m {
+		m[i] = make([]int64, p.K)
+	}
+	mark := make([]bool, p.K)
+	for n := 0; n < h.NumNets(); n++ {
+		pins := h.Pins(n)
+		if len(pins) == 0 {
+			continue
+		}
+		owner := p.Parts[pins[0]]
+		var touched []int32
+		for _, v := range pins {
+			q := p.Parts[v]
+			if !mark[q] {
+				mark[q] = true
+				touched = append(touched, q)
+			}
+		}
+		for _, q := range touched {
+			mark[q] = false
+			if q != owner {
+				m[owner][q] += h.Cost(n)
+			}
+		}
+	}
+	return m
+}
+
+// MatrixTotal sums all entries of a part-pair matrix.
+func MatrixTotal(m [][]int64) int64 {
+	var t int64
+	for _, row := range m {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// SOED returns the sum-of-external-degrees cut metric: each cut net
+// contributes cost * lambda (an alternative to connectivity-1 used by some
+// partitioners; provided for cross-checking against other tools).
+func SOED(h *hypergraph.Hypergraph, p Partition) int64 {
+	mark := make([]bool, p.K)
+	var s int64
+	for n := 0; n < h.NumNets(); n++ {
+		lambda := Connectivity(h, p, n, mark)
+		if lambda > 1 {
+			s += h.Cost(n) * int64(lambda)
+		}
+	}
+	return s
+}
+
+// CutNetMetric returns the plain cut-net metric: each cut net contributes
+// its cost once, regardless of connectivity.
+func CutNetMetric(h *hypergraph.Hypergraph, p Partition) int64 {
+	mark := make([]bool, p.K)
+	var s int64
+	for n := 0; n < h.NumNets(); n++ {
+		if Connectivity(h, p, n, mark) > 1 {
+			s += h.Cost(n)
+		}
+	}
+	return s
+}
+
+// BoundaryVertices returns the vertices incident to at least one cut net
+// (the working set of refinement algorithms).
+func BoundaryVertices(h *hypergraph.Hypergraph, p Partition) []int32 {
+	mark := make([]bool, p.K)
+	isBoundary := make([]bool, h.NumVertices())
+	for n := 0; n < h.NumNets(); n++ {
+		if Connectivity(h, p, n, mark) > 1 {
+			for _, v := range h.Pins(n) {
+				isBoundary[v] = true
+			}
+		}
+	}
+	var out []int32
+	for v, b := range isBoundary {
+		if b {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}

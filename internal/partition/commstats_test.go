@@ -1,0 +1,94 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperbal/internal/hypergraph"
+)
+
+func randomHGParts(seed int64) (*hypergraph.Hypergraph, Partition) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 5 + rng.Intn(40)
+	k := 2 + rng.Intn(4)
+	b := hypergraph.NewBuilder(n)
+	for i := 0; i < rng.Intn(2*n)+2; i++ {
+		sz := 2 + rng.Intn(4)
+		if sz > n {
+			sz = n
+		}
+		b.AddNet(int64(1+rng.Intn(3)), rng.Perm(n)[:sz]...)
+	}
+	h := b.Build()
+	p := Partition{K: k, Parts: make([]int32, n)}
+	for v := range p.Parts {
+		p.Parts[v] = int32(rng.Intn(k))
+	}
+	return h, p
+}
+
+// Property: the comm matrix total equals the connectivity-1 cut — the two
+// accountings of "how much data moves per iteration" must agree.
+func TestQuickCommMatrixTotalEqualsCut(t *testing.T) {
+	f := func(seed int64) bool {
+		h, p := randomHGParts(seed)
+		return MatrixTotal(CommMatrix(h, p)) == CutSize(h, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommMatrixDiagonalZero(t *testing.T) {
+	h, p := randomHGParts(5)
+	m := CommMatrix(h, p)
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal entry [%d][%d] = %d", i, i, m[i][i])
+		}
+	}
+}
+
+// Property: metric ordering — cut-net <= connectivity-1 <= SOED, with
+// SOED = connectivity-1 + cut-net for every partition.
+func TestQuickMetricRelationships(t *testing.T) {
+	f := func(seed int64) bool {
+		h, p := randomHGParts(seed)
+		cn := CutNetMetric(h, p)
+		c1 := CutSize(h, p)
+		so := SOED(h, p)
+		return cn <= c1 && c1 <= so && so == c1+cn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryVertices(t *testing.T) {
+	// path of 4 vertices, 3 nets, split in the middle
+	b := hypergraph.NewBuilder(4)
+	b.AddNet(1, 0, 1)
+	b.AddNet(1, 1, 2)
+	b.AddNet(1, 2, 3)
+	h := b.Build()
+	p := Partition{K: 2, Parts: []int32{0, 0, 1, 1}}
+	bd := BoundaryVertices(h, p)
+	if len(bd) != 2 || bd[0] != 1 || bd[1] != 2 {
+		t.Fatalf("boundary = %v, want [1 2]", bd)
+	}
+	// uncut partition has no boundary
+	if got := BoundaryVertices(h, Partition{K: 2, Parts: []int32{0, 0, 0, 0}}); len(got) != 0 {
+		t.Fatalf("uncut boundary = %v", got)
+	}
+}
+
+func TestMetricsUncut(t *testing.T) {
+	b := hypergraph.NewBuilder(3)
+	b.AddNet(5, 0, 1, 2)
+	h := b.Build()
+	p := Partition{K: 2, Parts: []int32{0, 0, 0}}
+	if SOED(h, p) != 0 || CutNetMetric(h, p) != 0 || CutSize(h, p) != 0 {
+		t.Fatal("uncut hypergraph should have zero metrics")
+	}
+}

@@ -1,0 +1,281 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
+)
+
+// figure1EpochJ builds the epoch-j hypergraph of the paper's Figure 1
+// worked example (without the augmentation): 9 vertices — the paper's
+// vertices 1..7 plus new vertices a, b mapped to indices 0..6, 7(a), 8(b).
+// Communication nets: {2,3,a}, {5,6,7}, {4,6,a}, {1,2}, {a,b}... The paper
+// does not enumerate all nets; we use exactly the three cut nets mentioned
+// plus structure irrelevant to the totals. Costs are 1 before alpha
+// scaling.
+func figure1EpochJ() *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(9)
+	b.AddNet(1, 1, 2, 7) // {2,3,a}
+	b.AddNet(1, 4, 5, 6) // {5,6,7}
+	b.AddNet(1, 3, 5, 7) // {4,6,a}
+	return b.Build()
+}
+
+func TestCutSizePaperExample(t *testing.T) {
+	// Reproduces the arithmetic of Section 3: with alpha=5 scaling, nets
+	// {2,3,a} and {5,6,7} cut with lambda=2 and {4,6,a} with lambda=3
+	// gives 2*5*(2-1) + 1*5*(3-1) = 20.
+	h := figure1EpochJ().ScaleCosts(5)
+	p := Partition{K: 3, Parts: []int32{
+		0, // 1 -> V1
+		0, // 2 -> V1
+		1, // 3 -> V2 (moved)
+		1, // 4 -> V2
+		1, // 5 -> V2
+		2, // 6 -> V3 (moved)
+		2, // 7 -> V3
+		0, // a -> V1
+		2, // b -> V3
+	}}
+	if got := CutSize(h, p); got != 20 {
+		t.Fatalf("CutSize = %d, want 20 (paper worked example)", got)
+	}
+	if got := CutNets(h, p); got != 3 {
+		t.Fatalf("CutNets = %d, want 3", got)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	h := figure1EpochJ()
+	p := Partition{K: 3, Parts: []int32{0, 0, 0, 1, 1, 1, 2, 2, 2}}
+	// net 0 = {1,2,a} -> parts {0,0,2} lambda=2
+	if got := Connectivity(h, p, 0, nil); got != 2 {
+		t.Fatalf("Connectivity(net0) = %d, want 2", got)
+	}
+	// net 1 pins indices {4,5,6} -> parts {1,1,2} lambda=2
+	if got := Connectivity(h, p, 1, nil); got != 2 {
+		t.Fatalf("Connectivity(net1) = %d, want 2", got)
+	}
+	// An uncut net has lambda 1.
+	uncut := Partition{K: 3, Parts: []int32{0, 0, 0, 0, 0, 0, 0, 0, 0}}
+	if got := Connectivity(h, uncut, 1, nil); got != 1 {
+		t.Fatalf("Connectivity(uncut net1) = %d, want 1", got)
+	}
+	// scratch-buffer variant agrees
+	mark := make([]bool, 3)
+	if got := Connectivity(h, p, 2, mark); got != Connectivity(h, p, 2, nil) {
+		t.Fatal("buffered and unbuffered Connectivity disagree")
+	}
+	for _, m := range mark {
+		if m {
+			t.Fatal("scratch buffer not re-zeroed")
+		}
+	}
+}
+
+func TestWeightsAndBalance(t *testing.T) {
+	b := hypergraph.NewBuilder(4)
+	b.SetWeight(0, 2)
+	b.SetWeight(1, 2)
+	b.SetWeight(2, 3)
+	b.SetWeight(3, 1)
+	h := b.Build()
+	p := Partition{K: 2, Parts: []int32{0, 0, 1, 1}}
+	w := Weights(h, p)
+	if w[0] != 4 || w[1] != 4 {
+		t.Fatalf("Weights = %v", w)
+	}
+	if Imbalance(w) != 0 {
+		t.Fatalf("Imbalance = %v, want 0", Imbalance(w))
+	}
+	if !IsBalanced(w, 0) {
+		t.Fatal("perfectly balanced partition rejected")
+	}
+	p2 := Partition{K: 2, Parts: []int32{0, 0, 0, 1}}
+	w2 := Weights(h, p2) // 7 vs 1, avg 4, imbalance 0.75
+	if got := Imbalance(w2); got < 0.74 || got > 0.76 {
+		t.Fatalf("Imbalance = %v, want 0.75", got)
+	}
+	if IsBalanced(w2, 0.5) {
+		t.Fatal("imbalanced partition accepted")
+	}
+}
+
+func TestImbalanceZeroTotal(t *testing.T) {
+	if Imbalance([]int64{0, 0}) != 0 {
+		t.Fatal("zero-weight imbalance should be 0")
+	}
+}
+
+func TestMigrationVolume(t *testing.T) {
+	b := hypergraph.NewBuilder(4)
+	for v := 0; v < 4; v++ {
+		b.SetSize(v, 3) // paper example: each vertex has size 3
+	}
+	h := b.Build()
+	old := Partition{K: 3, Parts: []int32{0, 0, 1, 2}}
+	now := Partition{K: 3, Parts: []int32{0, 1, 2, 2}}
+	// vertices 1 and 2 moved -> 2 * 3 = 6, matching the paper's migration
+	// cost arithmetic in Section 3.
+	if got := MigrationVolume(h, old, now); got != 6 {
+		t.Fatalf("MigrationVolume = %d, want 6", got)
+	}
+	if got := MovedVertices(old, now); got != 2 {
+		t.Fatalf("MovedVertices = %d, want 2", got)
+	}
+}
+
+func TestEdgeCut(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(2, 3, 4)
+	g := b.Build()
+	p := Partition{K: 2, Parts: []int32{0, 0, 1, 1}}
+	if got := EdgeCut(g, p); got != 3 {
+		t.Fatalf("EdgeCut = %d, want 3", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := Partition{K: 2, Parts: []int32{0, 1, 2}}
+	if p.Validate() == nil {
+		t.Fatal("out-of-range part accepted")
+	}
+	p.Parts[2] = 1
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapIdentityWhenUnchanged(t *testing.T) {
+	b := hypergraph.NewBuilder(6)
+	h := b.Build()
+	old := Partition{K: 3, Parts: []int32{0, 0, 1, 1, 2, 2}}
+	fresh := Partition{K: 3, Parts: []int32{1, 1, 2, 2, 0, 0}} // same blocks, permuted labels
+	mapped := Remap(h, old, fresh)
+	if MigrationVolume(h, old, mapped) != 0 {
+		t.Fatalf("Remap failed to undo pure relabeling: %v", mapped.Parts)
+	}
+}
+
+func TestRemapReducesMigration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, k := 200, 8
+	b := hypergraph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetSize(v, int64(1+rng.Intn(9)))
+	}
+	h := b.Build()
+	old := Partition{K: k, Parts: make([]int32, n)}
+	for v := range old.Parts {
+		old.Parts[v] = int32(v * k / n)
+	}
+	// fresh: mostly a permutation of old, with noise.
+	perm := rng.Perm(k)
+	fresh := Partition{K: k, Parts: make([]int32, n)}
+	for v := range fresh.Parts {
+		if rng.Float64() < 0.9 {
+			fresh.Parts[v] = int32(perm[old.Parts[v]])
+		} else {
+			fresh.Parts[v] = int32(rng.Intn(k))
+		}
+	}
+	before := MigrationVolume(h, old, fresh)
+	mapped := Remap(h, old, fresh)
+	after := MigrationVolume(h, old, mapped)
+	if after > before {
+		t.Fatalf("Remap increased migration: %d -> %d", before, after)
+	}
+	if after >= before/2 {
+		t.Fatalf("Remap should roughly undo a 90%% permutation: %d -> %d", before, after)
+	}
+	// Cut is invariant under relabeling.
+	if CutSize(h, fresh) != CutSize(h, mapped) {
+		t.Fatal("Remap changed the cut")
+	}
+}
+
+func TestRemapDifferentK(t *testing.T) {
+	h := hypergraph.NewBuilder(4).Build()
+	old := Partition{K: 2, Parts: []int32{0, 0, 1, 1}}
+	fresh := Partition{K: 4, Parts: []int32{3, 3, 1, 0}}
+	mapped := Remap(h, old, fresh)
+	if err := mapped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// old part 0 overlaps new part 3 most -> 3 relabels to 0.
+	if mapped.Parts[0] != 0 || mapped.Parts[1] != 0 {
+		t.Fatalf("remap = %v", mapped.Parts)
+	}
+}
+
+// Property: Remap never increases migration volume relative to the
+// untouched fresh partition, and preserves the cut.
+func TestQuickRemapNeverWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		k := 2 + rng.Intn(6)
+		b := hypergraph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.SetSize(v, int64(1+rng.Intn(5)))
+		}
+		for i := 0; i < rng.Intn(3*n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddNet(int64(1+rng.Intn(3)), u, v)
+			}
+		}
+		h := b.Build()
+		old := Partition{K: k, Parts: make([]int32, n)}
+		fresh := Partition{K: k, Parts: make([]int32, n)}
+		for v := 0; v < n; v++ {
+			old.Parts[v] = int32(rng.Intn(k))
+			fresh.Parts[v] = int32(rng.Intn(k))
+		}
+		mapped := Remap(h, old, fresh)
+		if mapped.Validate() != nil {
+			return false
+		}
+		return MigrationVolume(h, old, mapped) <= MigrationVolume(h, old, fresh) &&
+			CutSize(h, mapped) == CutSize(h, fresh)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CutSize is invariant under any relabeling permutation.
+func TestQuickCutRelabelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		k := 2 + rng.Intn(5)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < rng.Intn(2*n)+1; i++ {
+			sz := 2 + rng.Intn(4)
+			if sz > n {
+				sz = n
+			}
+			b.AddNet(int64(1+rng.Intn(4)), rng.Perm(n)[:sz]...)
+		}
+		h := b.Build()
+		p := Partition{K: k, Parts: make([]int32, n)}
+		for v := range p.Parts {
+			p.Parts[v] = int32(rng.Intn(k))
+		}
+		perm := rng.Perm(k)
+		q := Partition{K: k, Parts: make([]int32, n)}
+		for v := range q.Parts {
+			q.Parts[v] = int32(perm[p.Parts[v]])
+		}
+		return CutSize(h, p) == CutSize(h, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

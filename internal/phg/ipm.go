@@ -1,0 +1,223 @@
+package phg
+
+import (
+	"math/rand"
+
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+)
+
+// matchBid is one rank's best local match offer for a candidate vertex.
+type matchBid struct {
+	Cand  int32
+	Match int32 // proposed partner (local to the bidding rank's block)
+	Score float64
+}
+
+// parallelIPM runs the candidate-round inner-product matching of §4.1.
+// All ranks return the identical match vector. With opt.LocalIPM, most
+// matching happens inside each rank's block without communication (the
+// optimization proposed in the paper's conclusion); the block-local
+// matches are then exchanged once, and a single global round mops up
+// cross-block pairs.
+func parallelIPM(c *mpi.Comm, h *hypergraph.Hypergraph, rng *rand.Rand, opt Options) []int32 {
+	n := h.NumVertices()
+	match := make([]int32, n)
+	for v := range match {
+		match[v] = -1
+	}
+	lo, hi := blockRange(n, c.Size(), c.Rank())
+	if opt.LocalIPM {
+		localIPM(c, h, match, lo, hi, rng, opt)
+		// one global candidate round for the leftovers
+		opt.MatchRounds = 1
+	}
+	maxNetSize := opt.Serial.MaxNetSize
+	if maxNetSize <= 0 {
+		maxNetSize = 500
+	}
+	candPerRound := opt.CandidatesPerRound
+	if candPerRound <= 0 {
+		candPerRound = (hi - lo) / 2
+		if candPerRound < 8 {
+			candPerRound = 8
+		}
+	}
+
+	score := make([]float64, n)
+	touched := make([]int32, 0, 64)
+
+	for round := 0; round < opt.MatchRounds; round++ {
+		// 1. Nominate unmatched local candidates. Every rank must observe
+		// the same candidate list order, so candidates are gathered in rank
+		// order (AllgatherSlice preserves it).
+		var local []int32
+		for _, v := range rng.Perm(hi - lo) {
+			gv := int32(lo + v)
+			if match[gv] == -1 {
+				local = append(local, gv)
+				if len(local) >= candPerRound {
+					break
+				}
+			}
+		}
+		cands, _ := mpi.AllgatherSlice(c, local)
+		if len(cands) == 0 {
+			break
+		}
+
+		// 2. Compute this rank's best bid for each candidate, restricted to
+		// unmatched vertices in the local block and honoring the fixed
+		// compatibility filter. (All scores are computed; infeasible pairs
+		// are filtered at selection, as in Zoltan.)
+		bids := make([]matchBid, len(cands))
+		for i, cand := range cands {
+			bids[i] = bestLocalBid(h, match, int(cand), lo, hi, maxNetSize, score, &touched)
+		}
+
+		// 3. Global best bid per candidate.
+		best := mpi.AllreduceSlice(c, bids, func(a, b matchBid) matchBid {
+			if b.Score > a.Score || (b.Score == a.Score && b.Score > 0 && b.Match < a.Match) {
+				return b
+			}
+			return a
+		})
+
+		// 4. Finalize matches deterministically: process candidates in
+		// order, skipping ones whose endpoint got matched earlier in this
+		// round (every rank executes the same loop on the same data).
+		for i, cand := range cands {
+			b := best[i]
+			if b.Score <= 0 || b.Match < 0 {
+				continue
+			}
+			if match[cand] != -1 || match[b.Match] != -1 || cand == b.Match {
+				continue
+			}
+			match[cand] = b.Match
+			match[b.Match] = cand
+		}
+	}
+	// Self-match leftovers.
+	for v := range match {
+		if match[v] == -1 {
+			match[v] = int32(v)
+		}
+	}
+	return match
+}
+
+// bestLocalBid scores candidate cand against the unmatched vertices of the
+// local block via shared nets and returns the best feasible offer.
+func bestLocalBid(h *hypergraph.Hypergraph, match []int32, cand, lo, hi, maxNetSize int, score []float64, touched *[]int32) matchBid {
+	bid := matchBid{Cand: int32(cand), Match: -1}
+	fc := h.Fixed(cand)
+	tt := (*touched)[:0]
+	for _, netID := range h.Nets(cand) {
+		pins := h.Pins(int(netID))
+		if len(pins) < 2 || len(pins) > maxNetSize {
+			continue
+		}
+		contrib := float64(h.Cost(int(netID))) / float64(len(pins)-1)
+		if contrib <= 0 {
+			contrib = 1e-9
+		}
+		for _, w := range pins {
+			v := int(w)
+			if v == cand || v < lo || v >= hi || match[v] != -1 {
+				continue
+			}
+			if score[v] == 0 {
+				tt = append(tt, w)
+			}
+			score[v] += contrib
+		}
+	}
+	for _, w := range tt {
+		v := int(w)
+		s := score[v]
+		score[v] = 0
+		if s <= bid.Score {
+			continue
+		}
+		fv := h.Fixed(v)
+		if fc != hypergraph.Free && fv != hypergraph.Free && fc != fv {
+			continue // match filter (§4.1)
+		}
+		bid.Score = s
+		bid.Match = int32(v)
+	}
+	*touched = tt[:0]
+	return bid
+}
+
+// localIPM greedily matches unmatched vertices strictly within this
+// rank's own block (no communication during scoring), then allgathers the
+// per-block match decisions so every rank holds the identical vector.
+// Scoring is the same inner-product similarity with the §4.1 fixed
+// compatibility filter.
+func localIPM(c *mpi.Comm, h *hypergraph.Hypergraph, match []int32, lo, hi int, rng *rand.Rand, opt Options) {
+	maxNetSize := opt.Serial.MaxNetSize
+	if maxNetSize <= 0 {
+		maxNetSize = 500
+	}
+	type pair struct{ A, B int32 }
+	var local []pair
+	score := make([]float64, h.NumVertices())
+	var touched []int32
+	for _, off := range rng.Perm(hi - lo) {
+		u := lo + off
+		if match[u] != -1 {
+			continue
+		}
+		fu := h.Fixed(u)
+		touched = touched[:0]
+		for _, netID := range h.Nets(u) {
+			pins := h.Pins(int(netID))
+			if len(pins) < 2 || len(pins) > maxNetSize {
+				continue
+			}
+			contrib := float64(h.Cost(int(netID))) / float64(len(pins)-1)
+			if contrib <= 0 {
+				contrib = 1e-9
+			}
+			for _, w := range pins {
+				v := int(w)
+				if v == u || v < lo || v >= hi || match[v] != -1 {
+					continue
+				}
+				if score[v] == 0 {
+					touched = append(touched, w)
+				}
+				score[v] += contrib
+			}
+		}
+		best := -1
+		bestScore := 0.0
+		for _, w := range touched {
+			v := int(w)
+			s := score[v]
+			score[v] = 0
+			if s <= bestScore {
+				continue
+			}
+			fv := h.Fixed(v)
+			if fu != hypergraph.Free && fv != hypergraph.Free && fu != fv {
+				continue
+			}
+			best = v
+			bestScore = s
+		}
+		if best >= 0 {
+			match[u] = int32(best)
+			match[best] = int32(u)
+			local = append(local, pair{int32(u), int32(best)})
+		}
+	}
+	// Exchange decisions; blocks are disjoint, so no conflicts.
+	all, _ := mpi.AllgatherSlice(c, local)
+	for _, p := range all {
+		match[p.A] = p.B
+		match[p.B] = p.A
+	}
+}

@@ -1,0 +1,199 @@
+// Package toolkit provides the Zoltan-style callback interface to the
+// load balancer: applications register query callbacks describing their
+// objects (vertices) and dependencies (hyperedges) instead of building
+// hypergraphs by hand, call LoadBalance each epoch, and receive import/
+// export lists plus a ready-to-run migration plan — the workflow of the
+// Zoltan toolkit the paper's algorithm ships in.
+package toolkit
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperbal/internal/core"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/migrate"
+	"hyperbal/internal/partition"
+)
+
+// ObjectID identifies an application object (mesh cell, matrix row, ...).
+// IDs may be sparse and in any order; the toolkit maintains the dense
+// mapping internally.
+type ObjectID int64
+
+// Callbacks is the query interface an application implements. It mirrors
+// Zoltan's ZOLTAN_NUM_OBJ_FN / ZOLTAN_OBJ_LIST_FN / ZOLTAN_HG_* query
+// functions.
+type Callbacks struct {
+	// Objects returns the application's current object IDs. Required.
+	Objects func() []ObjectID
+	// Weight returns the computational load of an object (default 1).
+	Weight func(ObjectID) int64
+	// Size returns the migration data size of an object (default 1).
+	Size func(ObjectID) int64
+	// NumEdges returns how many hyperedges the application has. Required
+	// (may be 0).
+	NumEdges func() int
+	// Edge returns hyperedge e's cost and member objects. Required when
+	// NumEdges() > 0. Members not present in Objects() are ignored, so
+	// applications can keep stale edges across deletions.
+	Edge func(e int) (cost int64, members []ObjectID)
+	// OwnedBy returns the current part of an object, used to build the
+	// migration nets. Required for repartitioning (not for the first
+	// partition).
+	OwnedBy func(ObjectID) int
+}
+
+// Changes is the result of one load-balance operation, expressed as
+// Zoltan-style import/export lists.
+type Changes struct {
+	// Assignments maps every object to its new part.
+	Assignments map[ObjectID]int
+	// Exports lists objects that must leave their current part, with
+	// destination.
+	Exports []Export
+	// CommVolume and MigrationVolume mirror core.Result.
+	CommVolume      int64
+	MigrationVolume int64
+	// Plan is the executable migration schedule (nil when nothing moves or
+	// for a first partition).
+	Plan *migrate.Plan
+	// dense bookkeeping for tests / advanced callers
+	Partition partition.Partition
+	IDs       []ObjectID
+}
+
+// Export is one relocation directive.
+type Export struct {
+	Object   ObjectID
+	FromPart int
+	ToPart   int
+}
+
+// LB is a configured load balancer bound to application callbacks.
+type LB struct {
+	cfg core.Config
+	cb  Callbacks
+}
+
+// New validates the configuration and callbacks.
+func New(cfg core.Config, cb Callbacks) (*LB, error) {
+	if cb.Objects == nil {
+		return nil, fmt.Errorf("toolkit: Objects callback is required")
+	}
+	if cb.NumEdges == nil {
+		return nil, fmt.Errorf("toolkit: NumEdges callback is required")
+	}
+	if _, err := core.NewBalancer(cfg); err != nil {
+		return nil, err
+	}
+	return &LB{cfg: cfg, cb: cb}, nil
+}
+
+// snapshot materializes the application state into a hypergraph.
+func (lb *LB) snapshot() ([]ObjectID, map[ObjectID]int, *hypergraph.Hypergraph, error) {
+	ids := append([]ObjectID(nil), lb.cb.Objects()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	index := make(map[ObjectID]int, len(ids))
+	for i, id := range ids {
+		if _, dup := index[id]; dup {
+			return nil, nil, nil, fmt.Errorf("toolkit: duplicate object id %d", id)
+		}
+		index[id] = i
+	}
+	b := hypergraph.NewBuilder(len(ids))
+	for i, id := range ids {
+		if lb.cb.Weight != nil {
+			b.SetWeight(i, lb.cb.Weight(id))
+		}
+		if lb.cb.Size != nil {
+			b.SetSize(i, lb.cb.Size(id))
+		}
+	}
+	var pins []int
+	for e := 0; e < lb.cb.NumEdges(); e++ {
+		cost, members := lb.cb.Edge(e)
+		pins = pins[:0]
+		for _, m := range members {
+			if v, ok := index[m]; ok {
+				pins = append(pins, v)
+			}
+		}
+		if len(pins) >= 2 {
+			b.AddNet(cost, pins...)
+		}
+	}
+	return ids, index, b.Build(), nil
+}
+
+// Partition computes the first (static) decomposition.
+func (lb *LB) Partition() (*Changes, error) {
+	ids, _, h, err := lb.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	bal, err := core.NewBalancer(lb.cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bal.Partition(core.Problem{H: h})
+	if err != nil {
+		return nil, err
+	}
+	return lb.changes(ids, h, res, nil)
+}
+
+// LoadBalance repartitions given the current ownership from the OwnedBy
+// callback; epoch seeds the partitioner differently each call.
+func (lb *LB) LoadBalance(epoch int64) (*Changes, error) {
+	if lb.cb.OwnedBy == nil {
+		return nil, fmt.Errorf("toolkit: OwnedBy callback is required for LoadBalance")
+	}
+	ids, _, h, err := lb.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	old := partition.Partition{Parts: make([]int32, len(ids)), K: lb.cfg.K}
+	for i, id := range ids {
+		p := lb.cb.OwnedBy(id)
+		if p < 0 || p >= lb.cfg.K {
+			return nil, fmt.Errorf("toolkit: OwnedBy(%d) = %d, want [0,%d)", id, p, lb.cfg.K)
+		}
+		old.Parts[i] = int32(p)
+	}
+	bal, err := core.NewBalancer(lb.cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bal.Repartition(core.Problem{H: h}, old, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return lb.changes(ids, h, res, &old)
+}
+
+func (lb *LB) changes(ids []ObjectID, h *hypergraph.Hypergraph, res core.Result, old *partition.Partition) (*Changes, error) {
+	ch := &Changes{
+		Assignments:     make(map[ObjectID]int, len(ids)),
+		CommVolume:      res.CommVolume,
+		MigrationVolume: res.MigrationVolume,
+		Partition:       res.Partition,
+		IDs:             ids,
+	}
+	for i, id := range ids {
+		ch.Assignments[id] = res.Partition.Of(i)
+	}
+	if old != nil {
+		for i, id := range ids {
+			if from, to := old.Of(i), res.Partition.Of(i); from != to {
+				ch.Exports = append(ch.Exports, Export{Object: id, FromPart: from, ToPart: to})
+			}
+		}
+		plan, err := migrate.NewPlan(h, *old, res.Partition)
+		if err != nil {
+			return nil, err
+		}
+		ch.Plan = plan
+	}
+	return ch, nil
+}

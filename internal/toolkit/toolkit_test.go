@@ -1,0 +1,201 @@
+package toolkit
+
+import (
+	"testing"
+
+	"hyperbal/internal/core"
+)
+
+// meshApp is a toy application: a ring of cells with sparse object IDs
+// (spaced by 10) and mutable ownership.
+type meshApp struct {
+	n     int
+	owner map[ObjectID]int
+	dead  map[ObjectID]bool
+}
+
+func newMeshApp(n int) *meshApp {
+	return &meshApp{n: n, owner: map[ObjectID]int{}, dead: map[ObjectID]bool{}}
+}
+
+func (a *meshApp) id(i int) ObjectID { return ObjectID(i * 10) }
+
+func (a *meshApp) callbacks() Callbacks {
+	return Callbacks{
+		Objects: func() []ObjectID {
+			var ids []ObjectID
+			for i := 0; i < a.n; i++ {
+				if !a.dead[a.id(i)] {
+					ids = append(ids, a.id(i))
+				}
+			}
+			return ids
+		},
+		NumEdges: func() int { return a.n },
+		Edge: func(e int) (int64, []ObjectID) {
+			return 1, []ObjectID{a.id(e), a.id((e + 1) % a.n)}
+		},
+		OwnedBy: func(id ObjectID) int { return a.owner[id] },
+	}
+}
+
+func TestPartitionAndLoadBalance(t *testing.T) {
+	app := newMeshApp(64)
+	lb, err := New(core.Config{K: 4, Alpha: 10, Seed: 1, Method: core.HypergraphRepart}, app.callbacks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := lb.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Assignments) != 64 {
+		t.Fatalf("assignments for %d objects, want 64", len(ch.Assignments))
+	}
+	if ch.Plan != nil || len(ch.Exports) != 0 {
+		t.Fatal("static partition must not produce exports")
+	}
+	counts := map[int]int{}
+	for _, p := range ch.Assignments {
+		if p < 0 || p >= 4 {
+			t.Fatalf("part %d out of range", p)
+		}
+		counts[p]++
+	}
+	for p := 0; p < 4; p++ {
+		if counts[p] < 12 || counts[p] > 20 {
+			t.Fatalf("part %d has %d objects (imbalanced)", p, counts[p])
+		}
+	}
+
+	// Adopt the assignment, delete a few objects, rebalance.
+	for id, p := range ch.Assignments {
+		app.owner[id] = p
+	}
+	for i := 0; i < 6; i++ {
+		app.dead[app.id(i)] = true
+	}
+	ch2, err := lb.LoadBalance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch2.Assignments) != 58 {
+		t.Fatalf("assignments for %d objects, want 58", len(ch2.Assignments))
+	}
+	// exports consistent with assignment diff
+	for _, e := range ch2.Exports {
+		if app.owner[e.Object] != e.FromPart {
+			t.Fatalf("export %v: FromPart mismatch", e)
+		}
+		if ch2.Assignments[e.Object] != e.ToPart {
+			t.Fatalf("export %v: ToPart mismatch", e)
+		}
+	}
+	// plan volume matches reported migration
+	if ch2.Plan == nil {
+		if ch2.MigrationVolume != 0 {
+			t.Fatal("nil plan with nonzero migration")
+		}
+	} else if ch2.Plan.TotalVolume() != ch2.MigrationVolume {
+		t.Fatalf("plan volume %d != reported %d", ch2.Plan.TotalVolume(), ch2.MigrationVolume)
+	}
+}
+
+func TestCallbackValidation(t *testing.T) {
+	app := newMeshApp(8)
+	cb := app.callbacks()
+	cb.Objects = nil
+	if _, err := New(core.Config{K: 2}, cb); err == nil {
+		t.Fatal("expected error for missing Objects")
+	}
+	cb = app.callbacks()
+	cb.NumEdges = nil
+	if _, err := New(core.Config{K: 2}, cb); err == nil {
+		t.Fatal("expected error for missing NumEdges")
+	}
+	if _, err := New(core.Config{K: 0}, app.callbacks()); err == nil {
+		t.Fatal("expected error for bad config")
+	}
+}
+
+func TestLoadBalanceRequiresOwnedBy(t *testing.T) {
+	app := newMeshApp(8)
+	cb := app.callbacks()
+	cb.OwnedBy = nil
+	lb, err := New(core.Config{K: 2}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.LoadBalance(1); err == nil {
+		t.Fatal("expected error without OwnedBy")
+	}
+}
+
+func TestOwnedByRangeChecked(t *testing.T) {
+	app := newMeshApp(8)
+	cb := app.callbacks()
+	cb.OwnedBy = func(ObjectID) int { return 99 }
+	lb, _ := New(core.Config{K: 2}, cb)
+	if _, err := lb.LoadBalance(1); err == nil {
+		t.Fatal("expected out-of-range ownership error")
+	}
+}
+
+func TestDuplicateObjectIDRejected(t *testing.T) {
+	cb := Callbacks{
+		Objects:  func() []ObjectID { return []ObjectID{1, 1, 2} },
+		NumEdges: func() int { return 0 },
+	}
+	lb, err := New(core.Config{K: 2}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Partition(); err == nil {
+		t.Fatal("expected duplicate id error")
+	}
+}
+
+func TestStaleEdgesIgnored(t *testing.T) {
+	// Edges referring to deleted objects must be filtered, not crash.
+	app := newMeshApp(16)
+	lb, _ := New(core.Config{K: 2, Seed: 3}, app.callbacks())
+	ch, err := lb.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range ch.Assignments {
+		app.owner[id] = p
+	}
+	for i := 0; i < 8; i++ {
+		app.dead[app.id(i)] = true // half the ring gone; edges still listed
+	}
+	if _, err := lb.LoadBalance(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightAndSizeCallbacks(t *testing.T) {
+	app := newMeshApp(20)
+	cb := app.callbacks()
+	cb.Weight = func(id ObjectID) int64 { return int64(id%3 + 1) }
+	cb.Size = func(id ObjectID) int64 { return 5 }
+	lb, err := New(core.Config{K: 2, Seed: 5}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := lb.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range ch.Assignments {
+		app.owner[id] = p
+	}
+	ch2, err := lb.LoadBalance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migration volume must be a multiple of 5 (every object has size 5).
+	if ch2.MigrationVolume%5 != 0 {
+		t.Fatalf("migration %d not a multiple of object size", ch2.MigrationVolume)
+	}
+}
