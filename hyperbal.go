@@ -212,6 +212,32 @@ func RunWorldStats(n int, fn func(c *Comm) error) (*WorldStats, error) {
 	return mpi.RunStats(n, fn)
 }
 
+// WorldOptions configure a world beyond its size: fault injection
+// (FaultPlan), the deadlock watchdog, and per-operation tracing.
+type WorldOptions = mpi.Options
+
+// FaultPlan is a deterministic (seeded) fault schedule: per-rank message
+// delays, delivery reordering across distinct (src,tag) streams, and
+// rank-crash-at-step faults.
+type FaultPlan = mpi.FaultPlan
+
+// DeadlockError is returned when the watchdog aborts a stalled world; it
+// names which ranks were blocked in which operation.
+type DeadlockError = mpi.DeadlockError
+
+// CrashError reports a rank killed by an injected crash fault.
+type CrashError = mpi.CrashError
+
+// WorldEvent is one completed substrate operation, reported via
+// WorldOptions.OnEvent.
+type WorldEvent = mpi.Event
+
+// RunWorldWith is RunWorld with fault injection, watchdog diagnostics and
+// tracing (see WorldOptions).
+func RunWorldWith(n int, opt WorldOptions, fn func(c *Comm) error) (*WorldStats, error) {
+	return mpi.RunWith(n, opt, fn)
+}
+
 // PHGOptions tune the parallel hypergraph partitioner.
 type PHGOptions = phg.Options
 

@@ -121,8 +121,14 @@ func Epoch(c *mpi.Comm, h *hypergraph.Hypergraph, old *partition.Partition, p pa
 // Simulate is the single-call convenience wrapper: it spins up a world
 // with one rank per part and runs Epoch.
 func Simulate(h *hypergraph.Hypergraph, old *partition.Partition, p partition.Partition, iterations int) (Result, error) {
+	return SimulateWith(mpi.Options{}, h, old, p, iterations)
+}
+
+// SimulateWith is Simulate with explicit world options, so the simulated
+// application can run under fault injection, a watchdog, or tracing.
+func SimulateWith(opt mpi.Options, h *hypergraph.Hypergraph, old *partition.Partition, p partition.Partition, iterations int) (Result, error) {
 	var out Result
-	err := mpi.Run(p.K, func(c *mpi.Comm) error {
+	_, err := mpi.RunWith(p.K, opt, func(c *mpi.Comm) error {
 		r, err := Epoch(c, h, old, p, iterations)
 		if err != nil {
 			return err

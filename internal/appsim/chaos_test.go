@@ -1,0 +1,81 @@
+package appsim
+
+// Chaos tests: the simulated application's measured results (comm volume,
+// migration volume) must be schedule independent under injected delays and
+// reordering, and a rank crash mid-epoch must surface as a clean error.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hyperbal/internal/hgp"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/partition"
+)
+
+func chaosPlans() []*mpi.FaultPlan {
+	return []*mpi.FaultPlan{
+		nil,
+		{Seed: 31, MaxDelay: 100 * time.Microsecond},
+		{Seed: 32, Reorder: true},
+		{Seed: 33, MaxDelay: 60 * time.Microsecond, Reorder: true, DelayRanks: []int{0}},
+	}
+}
+
+func TestSimulateScheduleIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, k := 48, 4
+	h := randomHG(rng, n, 2*n)
+	old, err := hgp.Partition(h, hgp.Options{K: k, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hgp.Partition(h, hgp.Options{K: k, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline Result
+	for i, plan := range chaosPlans() {
+		res, err := SimulateWith(mpi.Options{Watchdog: 30 * time.Second, Fault: plan}, h, &old, p, 3)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if res.WordsPerIteration != partition.CutSize(h, p) {
+			t.Fatalf("plan %d: measured %d words/iter, cut is %d", i, res.WordsPerIteration, partition.CutSize(h, p))
+		}
+		if i == 0 {
+			baseline = res
+			continue
+		}
+		if res != baseline {
+			t.Fatalf("result under FaultPlan{Seed:%d} is %+v, clean run gave %+v", plan.Seed, res, baseline)
+		}
+	}
+}
+
+func TestSimulateCrashFailsCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, k := 48, 4
+	h := randomHG(rng, n, 2*n)
+	p, err := hgp.Partition(h, hgp.Options{K: k, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = SimulateWith(mpi.Options{
+		Watchdog: 2 * time.Second,
+		Fault:    &mpi.FaultPlan{Crash: map[int]int{1: 3}},
+	}, h, nil, p, 50)
+	if err == nil {
+		t.Fatal("expected a crash mid-epoch to surface as an error")
+	}
+	var crash *mpi.CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("expected CrashError, got: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("crash took %v to surface", elapsed)
+	}
+}

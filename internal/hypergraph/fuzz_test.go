@@ -1,0 +1,76 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// declaredCounts pre-parses the header so the fuzzer can skip inputs that
+// declare absurd entity counts (ReadText allocates O(vertices) up front;
+// rejecting giants here keeps the fuzz loop memory-bounded without
+// changing the reader's semantics).
+func declaredCounts(data []byte) (nets, verts int, ok bool) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, 0, false
+		}
+		n, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return 0, 0, false
+		}
+		return n, v, true
+	}
+	return 0, 0, false
+}
+
+// FuzzReadText asserts the text reader never panics and that successful
+// parses reach a write→read→write fixpoint (the serialized form is
+// canonical).
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("3 4\n1 2\n2 3\n3 4 1\n"))
+	f.Add([]byte("2 3 1\n5 1 2\n2 2 3\n"))
+	f.Add([]byte("% comment\n2 3 111\n5 1 2\n2 2 3\n4\n1\n9\n2\n2\n2\n"))
+	f.Add([]byte("1 2 11\n7 1 2\n3\n4\n"))
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("not a header"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		if nets, verts, ok := declaredCounts(data); ok && (nets > 1<<20 || verts > 1<<20) {
+			t.Skip("absurd declared counts")
+		}
+		h, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteText(&first, h); err != nil {
+			t.Fatalf("WriteText on parsed hypergraph: %v", err)
+		}
+		h2, err := ReadText(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own output: %v\noutput:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteText(&second, h2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write→read→write not a fixpoint:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+		if h2.NumVertices() != h.NumVertices() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatalf("round trip changed shape: (%d,%d,%d) -> (%d,%d,%d)",
+				h.NumVertices(), h.NumNets(), h.NumPins(),
+				h2.NumVertices(), h2.NumNets(), h2.NumPins())
+		}
+	})
+}

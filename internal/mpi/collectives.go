@@ -7,6 +7,7 @@ package mpi
 
 // Bcast distributes root's value to every rank and returns it.
 func Bcast[T any](c *Comm, root int, v T) T {
+	defer c.collective("bcast")()
 	if c.size == 1 {
 		return v
 	}
@@ -24,6 +25,7 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // BcastSlice distributes root's slice; non-root ranks receive a copy they
 // own.
 func BcastSlice[T any](c *Comm, root int, v []T) []T {
+	defer c.collective("bcast-slice")()
 	if c.size == 1 {
 		return v
 	}
@@ -41,6 +43,7 @@ func BcastSlice[T any](c *Comm, root int, v []T) []T {
 // Gather collects one value per rank at root (rank order). Non-root ranks
 // receive nil.
 func Gather[T any](c *Comm, root int, v T) []T {
+	defer c.collective("gather")()
 	if c.rank == root {
 		out := make([]T, c.size)
 		out[root] = v
@@ -57,6 +60,7 @@ func Gather[T any](c *Comm, root int, v T) []T {
 
 // Allgather collects one value per rank, in rank order, on every rank.
 func Allgather[T any](c *Comm, v T) []T {
+	defer c.collective("allgather")()
 	all := Gather(c, 0, v)
 	return BcastSlice(c, 0, all)
 }
@@ -64,6 +68,7 @@ func Allgather[T any](c *Comm, v T) []T {
 // GatherSlice concatenates variable-length per-rank slices at root in rank
 // order, also returning the per-rank counts. Non-root ranks receive nils.
 func GatherSlice[T any](c *Comm, root int, v []T) (concat []T, counts []int) {
+	defer c.collective("gather-slice")()
 	parts := Gather(c, root, v)
 	if c.rank != root {
 		return nil, nil
@@ -79,6 +84,7 @@ func GatherSlice[T any](c *Comm, root int, v []T) (concat []T, counts []int) {
 // AllgatherSlice concatenates per-rank slices on every rank (rank order),
 // also returning per-rank counts.
 func AllgatherSlice[T any](c *Comm, v []T) (concat []T, counts []int) {
+	defer c.collective("allgather-slice")()
 	concat, counts = GatherSlice(c, 0, v)
 	concat = BcastSlice(c, 0, concat)
 	counts = BcastSlice(c, 0, counts)
@@ -88,6 +94,7 @@ func AllgatherSlice[T any](c *Comm, v []T) (concat []T, counts []int) {
 // Reduce folds one value per rank at root with op (applied in rank order).
 // Non-root ranks receive the zero value.
 func Reduce[T any](c *Comm, root int, v T, op func(T, T) T) T {
+	defer c.collective("reduce")()
 	all := Gather(c, root, v)
 	if c.rank != root {
 		var zero T
@@ -102,6 +109,7 @@ func Reduce[T any](c *Comm, root int, v T, op func(T, T) T) T {
 
 // Allreduce folds one value per rank with op and distributes the result.
 func Allreduce[T any](c *Comm, v T, op func(T, T) T) T {
+	defer c.collective("allreduce")()
 	acc := Reduce(c, 0, v, op)
 	return Bcast(c, 0, acc)
 }
@@ -109,6 +117,7 @@ func Allreduce[T any](c *Comm, v T, op func(T, T) T) T {
 // AllreduceSlice folds equal-length slices elementwise with op and
 // distributes the result (like MPI_Allreduce over an array).
 func AllreduceSlice[T any](c *Comm, v []T, op func(T, T) T) []T {
+	defer c.collective("allreduce-slice")()
 	all := Gather(c, 0, v)
 	var acc []T
 	if c.rank == 0 {
@@ -125,6 +134,7 @@ func AllreduceSlice[T any](c *Comm, v []T, op func(T, T) T) []T {
 // ExclusiveScan returns the prefix fold of v over ranks below the caller
 // (the zero value on rank 0), like MPI_Exscan.
 func ExclusiveScan[T any](c *Comm, v T, op func(T, T) T) T {
+	defer c.collective("exscan")()
 	all := Allgather(c, v)
 	var acc T
 	for r := 0; r < c.rank; r++ {
@@ -140,6 +150,7 @@ func ExclusiveScan[T any](c *Comm, v T, op func(T, T) T) T {
 // Alltoall delivers sendbuf[r] to rank r; returns the values received,
 // indexed by source rank.
 func Alltoall[T any](c *Comm, sendbuf []T) []T {
+	defer c.collective("alltoall")()
 	if len(sendbuf) != c.size {
 		panic("mpi: Alltoall sendbuf length must equal communicator size")
 	}

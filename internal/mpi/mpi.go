@@ -11,6 +11,8 @@
 //   - Recv(src, tag) blocks for the next message from src and verifies the
 //     tag, panicking on protocol mismatches (a deliberate fail-fast stance:
 //     a tag mismatch is a bug in the algorithm, not a runtime condition).
+//     Under reorder injection (FaultPlan.Reorder) matching switches to
+//     MPI-style per-tag matching instead.
 //   - Ownership of slice payloads transfers with the message: the sender
 //     must not mutate a sent buffer (MPI_Send's "don't touch the buffer
 //     until complete" rule, made permanent).
@@ -19,19 +21,38 @@
 // asymptotic message complexity is not the point of this substrate, but
 // per-rank traffic is accounted (Stats) so experiments can report
 // communication volume of the partitioner itself.
+//
+// RunWith adds a fault-injection and diagnostics layer (see fault.go):
+// seeded message delays and reordering, rank crashes, a deadlock watchdog
+// that replaces ad-hoc test timeouts with a structured DeadlockError, and
+// per-operation tracing.
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats accumulates substrate traffic, shared by all Comms of a World.
 type Stats struct {
 	Messages atomic.Int64
 	Bytes    atomic.Int64
+	// Collectives counts top-level collective operations entered, summed
+	// over ranks (a Barrier on an 8-rank world adds 8). Collectives
+	// implemented in terms of other collectives count once.
+	Collectives atomic.Int64
+	// MaxStall is the longest time, in nanoseconds, any rank spent blocked
+	// inside a single substrate operation. Recorded only when the world
+	// runs with a watchdog or an OnEvent hook (RunWith); otherwise 0.
+	MaxStall atomic.Int64
 }
+
+// MaxStallDuration returns the max-stall gauge as a time.Duration.
+func (s *Stats) MaxStallDuration() time.Duration { return time.Duration(s.MaxStall.Load()) }
 
 type message struct {
 	tag  int
@@ -41,10 +62,15 @@ type message struct {
 // Comm is a communicator over a group of ranks. All collective methods
 // must be called by every rank of the communicator.
 type Comm struct {
-	rank  int
-	size  int
-	chans [][]chan message // chans[src][dst]
-	stats *Stats
+	rank    int
+	size    int
+	chans   [][]chan message // chans[src][dst]
+	w       *world
+	worldOf []int // comm rank -> world rank (nil means identity)
+
+	// Reorder-injection state (nil unless FaultPlan.Reorder):
+	pending [][]message // received-but-unmatched messages, per source
+	held    []*message  // sender-side held message, per destination
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -54,24 +80,55 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.size }
 
 // Stats returns the world-level traffic counters.
-func (c *Comm) Stats() *Stats { return c.stats }
+func (c *Comm) Stats() *Stats { return c.w.stats }
+
+// worldRank translates a comm-local rank to its world rank.
+func (c *Comm) worldRank(r int) int {
+	if c.worldOf == nil {
+		return r
+	}
+	return c.worldOf[r]
+}
 
 const chanCap = 1024
+
+// newComm wires a communicator of the given world. Each Comm instance
+// belongs to exactly one rank goroutine, so its reorder buffers need no
+// locking.
+func newComm(w *world, chans [][]chan message, rank, size int, worldOf []int) *Comm {
+	c := &Comm{rank: rank, size: size, chans: chans, w: w, worldOf: worldOf}
+	if w.reorder() {
+		c.pending = make([][]message, size)
+		c.held = make([]*message, size)
+		wr := c.worldRank(rank)
+		w.flushers[wr] = append(w.flushers[wr], c.flushHeld)
+	}
+	return c
+}
 
 // Run launches an n-rank SPMD world and waits for all ranks to finish.
 // Each rank runs fn with its own Comm. The first non-nil error is
 // returned. Panics in ranks propagate.
 func Run(n int, fn func(c *Comm) error) error {
-	_, err := RunStats(n, fn)
+	_, err := RunWith(n, Options{}, fn)
 	return err
 }
 
 // RunStats is Run, also returning the world's traffic counters.
 func RunStats(n int, fn func(c *Comm) error) (*Stats, error) {
+	return RunWith(n, Options{}, fn)
+}
+
+// RunWith is Run with fault injection, watchdog diagnostics and tracing
+// (see Options). On a watchdog abort the returned error is (or wraps, when
+// a crash fault triggered the stall) a *DeadlockError; injected crashes
+// surface as *CrashError. Stats are returned even on error.
+func RunWith(n int, opt Options, fn func(c *Comm) error) (*Stats, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mpi: world size must be >= 1, got %d", n)
 	}
-	stats := &Stats{}
+	opt = opt.normalized()
+	w := newWorld(n, opt)
 	chans := newChanMatrix(n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -79,17 +136,42 @@ func RunStats(n int, fn func(c *Comm) error) (*Stats, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c := &Comm{rank: rank, size: n, chans: chans, stats: stats}
+			defer func() {
+				w.finish(rank)
+				switch v := recover().(type) {
+				case nil:
+				case crashSignal:
+					errs[rank] = &CrashError{Rank: v.rank, Step: v.step}
+				case abortSignal:
+					errs[rank] = errAborted
+				default:
+					panic(v)
+				}
+			}()
+			c := newComm(w, chans, rank, n, nil)
 			errs[rank] = fn(c)
+			w.flushRank(rank)
 		}(r)
 	}
+	if opt.Watchdog > 0 {
+		go w.watchdog()
+	}
 	wg.Wait()
+	close(w.stopc)
+	var first error
 	for _, err := range errs {
-		if err != nil {
-			return stats, err
+		if err != nil && !errors.Is(err, errAborted) {
+			first = err
+			break
 		}
 	}
-	return stats, nil
+	if dl := w.deadlock.Load(); dl != nil {
+		if first == nil {
+			return w.stats, dl
+		}
+		return w.stats, errors.Join(first, dl)
+	}
+	return w.stats, first
 }
 
 func newChanMatrix(n int) [][]chan message {
@@ -109,25 +191,139 @@ func (c *Comm) Send(dst, tag int, data any) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("mpi: send to rank %d, world size %d", dst, c.size))
 	}
-	c.stats.Messages.Add(1)
-	c.stats.Bytes.Add(payloadBytes(data))
-	c.chans[c.rank][dst] <- message{tag: tag, data: data}
+	c.faultStep()
+	c.faultDelay()
+	nb := payloadBytes(data)
+	c.w.stats.Messages.Add(1)
+	c.w.stats.Bytes.Add(nb)
+	stall := c.deliver(dst, message{tag: tag, data: data})
+	if hook := c.w.opt.OnEvent; hook != nil {
+		hook(Event{Rank: c.worldRank(c.rank), Op: "send", Peer: c.worldRank(dst), Tag: tag, Bytes: nb, Stall: stall})
+	}
+}
+
+// deliver routes a message to dst, applying reorder injection when
+// enabled, and returns how long the send blocked. Under injection the
+// sender may hold one message per destination back so that a later
+// message with a *different* tag overtakes it; order within one
+// (src,dst,tag) stream is always preserved.
+func (c *Comm) deliver(dst int, m message) time.Duration {
+	if c.held == nil {
+		return c.push(dst, m)
+	}
+	rng := c.w.frand[c.worldRank(c.rank)]
+	var stall time.Duration
+	if h := c.held[dst]; h != nil && (h.tag == m.tag || rng.Intn(2) == 0) {
+		c.held[dst] = nil
+		stall += c.push(dst, *h)
+	}
+	if c.held[dst] == nil && rng.Intn(2) == 0 {
+		held := m
+		c.held[dst] = &held
+		return stall
+	}
+	return stall + c.push(dst, m)
+}
+
+// push writes to the wire, abort-aware and stall-tracked.
+func (c *Comm) push(dst int, m message) time.Duration {
+	ch := c.chans[c.rank][dst]
+	select {
+	case ch <- m:
+		return 0
+	default:
+	}
+	end := c.w.enterBlocked(c.worldRank(c.rank), "send", c.worldRank(dst), m.tag)
+	select {
+	case ch <- m:
+		return end()
+	case <-c.w.abort:
+		end()
+		panic(abortSignal{})
+	}
+}
+
+// flushHeld delivers every held (reorder-injected) message. Called before
+// any potentially blocking receive and when the rank finishes, so a hold
+// can never starve a peer.
+func (c *Comm) flushHeld() {
+	for dst, h := range c.held {
+		if h != nil {
+			c.held[dst] = nil
+			c.push(dst, *h)
+		}
+	}
 }
 
 // Recv blocks for the next message from src and returns its payload,
-// panicking if the tag differs (protocol error).
+// panicking if the tag differs (protocol error). Under reorder injection
+// it performs MPI-style tag matching instead: non-matching messages are
+// buffered until asked for.
 func (c *Comm) Recv(src, tag int) any {
 	if src < 0 || src >= c.size {
 		panic(fmt.Sprintf("mpi: recv from rank %d, world size %d", src, c.size))
 	}
-	m := <-c.chans[src][c.rank]
-	if m.tag != tag {
-		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	c.faultStep()
+	if c.held != nil {
+		c.w.flushRank(c.worldRank(c.rank))
+	}
+	m, stall := c.fetch(src, tag)
+	if hook := c.w.opt.OnEvent; hook != nil {
+		hook(Event{Rank: c.worldRank(c.rank), Op: "recv", Peer: c.worldRank(src), Tag: tag, Bytes: payloadBytes(m.data), Stall: stall})
 	}
 	return m.data
 }
 
-// payloadBytes approximates the wire size of common payload types.
+// fetch returns the next message from src with the given tag.
+func (c *Comm) fetch(src, tag int) (message, time.Duration) {
+	if c.pending != nil {
+		q := c.pending[src]
+		for i, m := range q {
+			if m.tag == tag {
+				c.pending[src] = append(q[:i], q[i+1:]...)
+				return m, 0
+			}
+		}
+		var stall time.Duration
+		for {
+			m, st := c.take(src, tag)
+			stall += st
+			if m.tag == tag {
+				return m, stall
+			}
+			c.pending[src] = append(c.pending[src], m)
+		}
+	}
+	m, stall := c.take(src, tag)
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	return m, stall
+}
+
+// take reads the next raw message from src, abort-aware and stall-tracked.
+func (c *Comm) take(src, tag int) (message, time.Duration) {
+	ch := c.chans[src][c.rank]
+	select {
+	case m := <-ch:
+		return m, 0
+	default:
+	}
+	end := c.w.enterBlocked(c.worldRank(c.rank), "recv", c.worldRank(src), tag)
+	select {
+	case m := <-ch:
+		return m, end()
+	case <-c.w.abort:
+		end()
+		panic(abortSignal{})
+	}
+}
+
+// payloadBytes approximates the wire size of a payload: fast paths for the
+// common scalar and slice types, a structural reflection walk for
+// everything else (struct slices like match bids and move proposals are
+// accounted at their packed field size, so the traffic numbers reported
+// for the parallel partitioners are real, not "8 bytes per opaque value").
 func payloadBytes(data any) int64 {
 	switch v := data.(type) {
 	case nil:
@@ -140,15 +336,98 @@ func payloadBytes(data any) int64 {
 		return int64(8 * len(v))
 	case []byte:
 		return int64(len(v))
-	case int, int64, float64:
+	case string:
+		return int64(len(v))
+	case int, int64, uint64, float64:
 		return 8
-	case int32, float32:
+	case int32, uint32, float32:
 		return 4
-	case bool:
+	case int16, uint16:
+		return 2
+	case int8, uint8, bool:
 		return 1
-	default:
-		return 8 // opaque scalar assumption
 	}
+	return wireSize(reflect.ValueOf(data))
+}
+
+// wireSize walks a value structurally: fixed-width kinds by width,
+// strings and slices by element, structs field by field. Reference kinds
+// (chan, func, map) count as one word; the substrate only ships those in
+// internal bootstrap payloads (Split's channel matrix).
+func wireSize(v reflect.Value) int64 {
+	switch v.Kind() {
+	case reflect.Invalid:
+		return 0
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64, reflect.Uintptr, reflect.Float64, reflect.Complex64:
+		return 8
+	case reflect.Complex128:
+		return 16
+	case reflect.String:
+		return int64(v.Len())
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			return 0
+		}
+		if sz, fixed := fixedWireSize(v.Type().Elem()); fixed {
+			return sz * int64(v.Len())
+		}
+		var total int64
+		for i := 0; i < v.Len(); i++ {
+			total += wireSize(v.Index(i))
+		}
+		return total
+	case reflect.Struct:
+		var total int64
+		for i := 0; i < v.NumField(); i++ {
+			total += wireSize(v.Field(i))
+		}
+		return total
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return 0
+		}
+		return wireSize(v.Elem())
+	default: // chan, func, map, unsafe pointer: opaque word
+		return 8
+	}
+}
+
+// fixedWireSize reports the wire size of t when every value of t has the
+// same size (no strings, slices, interfaces or pointers anywhere), letting
+// slice accounting skip the per-element walk.
+func fixedWireSize(t reflect.Type) (int64, bool) {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1, true
+	case reflect.Int16, reflect.Uint16:
+		return 2, true
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4, true
+	case reflect.Int, reflect.Int64, reflect.Uint, reflect.Uint64, reflect.Uintptr, reflect.Float64, reflect.Complex64:
+		return 8, true
+	case reflect.Complex128:
+		return 16, true
+	case reflect.Array:
+		sz, ok := fixedWireSize(t.Elem())
+		return sz * int64(t.Len()), ok
+	case reflect.Struct:
+		var total int64
+		for i := 0; i < t.NumField(); i++ {
+			sz, ok := fixedWireSize(t.Field(i).Type)
+			if !ok {
+				return 0, false
+			}
+			total += sz
+		}
+		return total, true
+	}
+	return 0, false
 }
 
 // Split partitions the communicator into disjoint sub-communicators by
@@ -157,6 +436,7 @@ func payloadBytes(data any) int64 {
 // color returns nil (the rank does not participate; mirrors
 // MPI_UNDEFINED).
 func (c *Comm) Split(color, key int) *Comm {
+	defer c.collective("split")()
 	type entry struct{ color, key, rank int }
 	all := AllgatherAny(c, entry{color, key, c.rank}).([]entry)
 	if color < 0 {
@@ -176,14 +456,16 @@ func (c *Comm) Split(color, key int) *Comm {
 		}
 	}
 	newRank := -1
+	worldOf := make([]int, len(members))
 	for i, e := range members {
 		if e.rank == c.rank {
 			newRank = i
 		}
+		worldOf[i] = c.worldRank(e.rank)
 	}
 	// The split communicator gets fresh channels. Build them cooperatively:
 	// the lowest old rank of each color allocates and distributes.
-	sub := &Comm{rank: newRank, size: len(members), stats: c.stats}
+	sub := newComm(c.w, nil, newRank, len(members), worldOf)
 	if newRank == 0 {
 		sub.chans = newChanMatrix(len(members))
 		for i := 1; i < len(members); i++ {
@@ -207,6 +489,7 @@ const (
 
 // Barrier blocks until every rank of c has entered it.
 func (c *Comm) Barrier() {
+	defer c.collective("barrier")()
 	if c.size == 1 {
 		return
 	}
@@ -230,6 +513,7 @@ func (c *Comm) Barrier() {
 // generic Allgather for concrete element types. This variant exists for
 // internal structural payloads.
 func AllgatherAny[T any](c *Comm, v T) any {
+	defer c.collective("allgather-any")()
 	out := make([]T, c.size)
 	if c.rank == 0 {
 		out[0] = v

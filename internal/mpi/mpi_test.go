@@ -10,24 +10,19 @@ import (
 	"time"
 )
 
-// runWithTimeout guards against substrate deadlocks in tests.
-func runWithTimeout(t *testing.T, n int, fn func(c *Comm) error) {
+// runChecked guards against substrate deadlocks via the built-in watchdog:
+// a stall turns into a DeadlockError naming the blocked ranks instead of a
+// bare test timeout.
+func runChecked(t *testing.T, n int, fn func(c *Comm) error) {
 	t.Helper()
-	done := make(chan error, 1)
-	go func() { done <- Run(n, fn) }()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatal(err)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("mpi deadlock: world did not finish in 30s")
+	if _, err := RunWith(n, Options{Watchdog: 10 * time.Second}, fn); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestRunBasics(t *testing.T) {
 	var count atomic.Int64
-	runWithTimeout(t, 8, func(c *Comm) error {
+	runChecked(t, 8, func(c *Comm) error {
 		if c.Size() != 8 {
 			return fmt.Errorf("size %d", c.Size())
 		}
@@ -59,7 +54,7 @@ func TestRunRejectsBadSize(t *testing.T) {
 }
 
 func TestSendRecvOrdering(t *testing.T) {
-	runWithTimeout(t, 2, func(c *Comm) error {
+	runChecked(t, 2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			for i := 0; i < 100; i++ {
 				c.Send(1, 7, []int32{int32(i)})
@@ -78,7 +73,7 @@ func TestSendRecvOrdering(t *testing.T) {
 
 func TestBarrier(t *testing.T) {
 	var phase atomic.Int64
-	runWithTimeout(t, 8, func(c *Comm) error {
+	runChecked(t, 8, func(c *Comm) error {
 		phase.Add(1)
 		c.Barrier()
 		if phase.Load() != 8 {
@@ -89,7 +84,7 @@ func TestBarrier(t *testing.T) {
 }
 
 func TestBcast(t *testing.T) {
-	runWithTimeout(t, 6, func(c *Comm) error {
+	runChecked(t, 6, func(c *Comm) error {
 		v := 0
 		if c.Rank() == 2 {
 			v = 99
@@ -103,7 +98,7 @@ func TestBcast(t *testing.T) {
 }
 
 func TestGatherAllgather(t *testing.T) {
-	runWithTimeout(t, 5, func(c *Comm) error {
+	runChecked(t, 5, func(c *Comm) error {
 		got := Gather(c, 0, c.Rank()*10)
 		if c.Rank() == 0 {
 			for r := 0; r < 5; r++ {
@@ -125,7 +120,7 @@ func TestGatherAllgather(t *testing.T) {
 }
 
 func TestAllgatherSlice(t *testing.T) {
-	runWithTimeout(t, 4, func(c *Comm) error {
+	runChecked(t, 4, func(c *Comm) error {
 		mine := make([]int32, c.Rank()) // rank r contributes r elements
 		for i := range mine {
 			mine[i] = int32(c.Rank())
@@ -151,7 +146,7 @@ func TestAllgatherSlice(t *testing.T) {
 }
 
 func TestAllreduce(t *testing.T) {
-	runWithTimeout(t, 7, func(c *Comm) error {
+	runChecked(t, 7, func(c *Comm) error {
 		sum := Allreduce(c, int64(c.Rank()), SumInt64)
 		if sum != 21 {
 			return fmt.Errorf("sum = %d", sum)
@@ -169,7 +164,7 @@ func TestAllreduce(t *testing.T) {
 }
 
 func TestAllreduceSlice(t *testing.T) {
-	runWithTimeout(t, 4, func(c *Comm) error {
+	runChecked(t, 4, func(c *Comm) error {
 		v := []int64{int64(c.Rank()), 1, int64(c.Rank() * c.Rank())}
 		got := AllreduceSlice(c, v, SumInt64)
 		want := []int64{6, 4, 14}
@@ -183,7 +178,7 @@ func TestAllreduceSlice(t *testing.T) {
 }
 
 func TestExclusiveScan(t *testing.T) {
-	runWithTimeout(t, 5, func(c *Comm) error {
+	runChecked(t, 5, func(c *Comm) error {
 		got := ExclusiveScan(c, int64(c.Rank()+1), SumInt64)
 		// rank r gets sum of (1..r)
 		want := int64(c.Rank() * (c.Rank() + 1) / 2)
@@ -195,7 +190,7 @@ func TestExclusiveScan(t *testing.T) {
 }
 
 func TestAlltoall(t *testing.T) {
-	runWithTimeout(t, 4, func(c *Comm) error {
+	runChecked(t, 4, func(c *Comm) error {
 		send := make([]int, 4)
 		for r := range send {
 			send[r] = c.Rank()*100 + r
@@ -212,7 +207,7 @@ func TestAlltoall(t *testing.T) {
 }
 
 func TestAllreduceMinLoc(t *testing.T) {
-	runWithTimeout(t, 6, func(c *Comm) error {
+	runChecked(t, 6, func(c *Comm) error {
 		// rank 3 has the smallest key; tie at rank 5 resolved to 3 by rank.
 		key := int64(10)
 		if c.Rank() == 3 || c.Rank() == 5 {
@@ -227,7 +222,7 @@ func TestAllreduceMinLoc(t *testing.T) {
 }
 
 func TestSplit(t *testing.T) {
-	runWithTimeout(t, 8, func(c *Comm) error {
+	runChecked(t, 8, func(c *Comm) error {
 		color := c.Rank() % 2
 		sub := c.Split(color, c.Rank())
 		if sub.Size() != 4 {
@@ -251,7 +246,7 @@ func TestSplit(t *testing.T) {
 }
 
 func TestSplitUndefined(t *testing.T) {
-	runWithTimeout(t, 4, func(c *Comm) error {
+	runChecked(t, 4, func(c *Comm) error {
 		color := 0
 		if c.Rank() == 3 {
 			color = -1 // opt out

@@ -27,27 +27,28 @@ func grid(w, h int) *graph.Graph {
 	return b.Build()
 }
 
+// runParallel runs fn on np ranks under the substrate watchdog (a stall
+// fails with a DeadlockError naming the blocked ranks) and returns the
+// rank-0 partition after checking all ranks agree.
 func runParallel(t *testing.T, np int, fn func(c *mpi.Comm) (partition.Partition, error)) partition.Partition {
 	t.Helper()
+	return runParallelFault(t, np, nil, fn)
+}
+
+// runParallelFault is runParallel under an injected fault schedule.
+func runParallelFault(t *testing.T, np int, plan *mpi.FaultPlan, fn func(c *mpi.Comm) (partition.Partition, error)) partition.Partition {
+	t.Helper()
 	results := make([]partition.Partition, np)
-	done := make(chan error, 1)
-	go func() {
-		done <- mpi.Run(np, func(c *mpi.Comm) error {
-			p, err := fn(c)
-			if err != nil {
-				return err
-			}
-			results[c.Rank()] = p
-			return nil
-		})
-	}()
-	select {
-	case err := <-done:
+	_, err := mpi.RunWith(np, mpi.Options{Watchdog: 60 * time.Second, Fault: plan}, func(c *mpi.Comm) error {
+		p, err := fn(c)
 		if err != nil {
-			t.Fatal(err)
+			return err
 		}
-	case <-time.After(60 * time.Second):
-		t.Fatal("pgp deadlocked")
+		results[c.Rank()] = p
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	for r := 1; r < np; r++ {
 		for v := range results[0].Parts {

@@ -1,0 +1,125 @@
+package phg
+
+// Chaos tests: the parallel partitioner's correctness claim is schedule
+// independence — every rank computes the identical partition no matter how
+// the substrate delays or reorders messages. These tests attack that claim
+// with seeded fault schedules across all five dataset families, and check
+// that injected rank crashes degrade into clean errors, never hangs.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/graph"
+	"hyperbal/internal/hgp"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/partition"
+)
+
+// chaosPlans returns distinct injected schedules; index 0 is the clean
+// baseline every faulted run must reproduce exactly.
+func chaosPlans() []*mpi.FaultPlan {
+	return []*mpi.FaultPlan{
+		nil,
+		{Seed: 1, MaxDelay: 150 * time.Microsecond},
+		{Seed: 2, Reorder: true},
+		{Seed: 3, MaxDelay: 80 * time.Microsecond, Reorder: true, DelayRanks: []int{0, 2}},
+	}
+}
+
+func chaosHypergraph(t *testing.T, family string, n int) *hypergraph.Hypergraph {
+	t.Helper()
+	g, err := datasets.Generate(family, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.ToHypergraph(g)
+}
+
+func TestPartitionScheduleIndependent(t *testing.T) {
+	const np = 4
+	for _, family := range datasets.Names() {
+		h := chaosHypergraph(t, family, 96)
+		for _, k := range []int{4, 8} {
+			opt := Options{Serial: hgp.Options{K: k, Imbalance: 0.10, Seed: 7}}
+			var baseline partition.Partition
+			var baseCut int64
+			for i, plan := range chaosPlans() {
+				p := runParallelFault(t, np, h, opt, plan)
+				cut := partition.CutSize(h, p)
+				if i == 0 {
+					baseline, baseCut = p, cut
+					continue
+				}
+				if cut != baseCut {
+					t.Fatalf("%s k=%d: cut %d under FaultPlan{Seed:%d} differs from clean cut %d",
+						family, k, cut, plan.Seed, baseCut)
+				}
+				for v := range baseline.Parts {
+					if p.Parts[v] != baseline.Parts[v] {
+						t.Fatalf("%s k=%d: partition differs at vertex %d under FaultPlan{Seed:%d}",
+							family, k, v, plan.Seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionCrashFailsCleanly(t *testing.T) {
+	h := chaosHypergraph(t, "auto", 96)
+	start := time.Now()
+	_, err := mpi.RunWith(4, mpi.Options{
+		Watchdog: 2 * time.Second,
+		Fault:    &mpi.FaultPlan{Crash: map[int]int{1: 4}},
+	}, func(c *mpi.Comm) error {
+		_, err := Partition(c, h, Options{Serial: hgp.Options{K: 4, Seed: 7}})
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected a crash fault to surface as an error")
+	}
+	var crash *mpi.CrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("expected CrashError, got: %v", err)
+	}
+	if crash.Rank != 1 {
+		t.Fatalf("crash = %+v, want rank 1", crash)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("crash took %v to surface (hang-like behavior)", elapsed)
+	}
+}
+
+// The coarsening and refinement exchanges ship []matchBid and
+// []moveProposal; verify the traffic stats account them at packed field
+// size (16 bytes each: two int32 + one 8-byte score), as Figs 7–8 assume.
+func TestStructPayloadTrafficAccounting(t *testing.T) {
+	stats, err := mpi.RunWith(2, mpi.Options{Watchdog: testWatchdog}, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []matchBid{{Cand: 1, Match: 2, Score: 3.5}, {}, {}})
+			c.Send(1, 2, []moveProposal{{V: 1, To: 2, Gain: 3}})
+		} else {
+			if got := c.Recv(0, 1).([]matchBid); len(got) != 3 {
+				return fmt.Errorf("got %d bids", len(got))
+			}
+			if got := c.Recv(0, 2).([]moveProposal); len(got) != 1 {
+				return fmt.Errorf("got %d proposals", len(got))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Bytes.Load(); got != 3*16+1*16 {
+		t.Fatalf("struct payloads accounted as %d bytes, want 64", got)
+	}
+	if stats.Messages.Load() != 2 {
+		t.Fatalf("messages = %d", stats.Messages.Load())
+	}
+}

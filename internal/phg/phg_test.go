@@ -13,6 +13,8 @@ import (
 	"hyperbal/internal/partition"
 )
 
+const testWatchdog = 60 * time.Second
+
 func grid2D(w, h int) *hypergraph.Hypergraph {
 	b := hypergraph.NewBuilder(w * h)
 	id := func(x, y int) int { return y*w + x }
@@ -45,32 +47,31 @@ func randomHG(rng *rand.Rand, n, nets, maxPins int) *hypergraph.Hypergraph {
 	return b.Build()
 }
 
-// runParallel runs phg.Partition on np ranks with a deadlock timeout and
+// runParallel runs phg.Partition on np ranks under the substrate watchdog
+// (a stall fails with a DeadlockError naming the blocked ranks) and
 // returns the rank-0 result after checking all ranks agree.
 func runParallel(t *testing.T, np int, h *hypergraph.Hypergraph, opt Options) partition.Partition {
 	t.Helper()
+	return runParallelFault(t, np, h, opt, nil)
+}
+
+// runParallelFault is runParallel under an injected fault schedule.
+func runParallelFault(t *testing.T, np int, h *hypergraph.Hypergraph, opt Options, plan *mpi.FaultPlan) partition.Partition {
+	t.Helper()
 	results := make([]partition.Partition, np)
 	var mu sync.Mutex
-	done := make(chan error, 1)
-	go func() {
-		done <- mpi.Run(np, func(c *mpi.Comm) error {
-			p, err := Partition(c, h, opt)
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			results[c.Rank()] = p
-			mu.Unlock()
-			return nil
-		})
-	}()
-	select {
-	case err := <-done:
+	_, err := mpi.RunWith(np, mpi.Options{Watchdog: testWatchdog, Fault: plan}, func(c *mpi.Comm) error {
+		p, err := Partition(c, h, opt)
 		if err != nil {
-			t.Fatal(err)
+			return err
 		}
-	case <-time.After(60 * time.Second):
-		t.Fatal("parallel partitioner deadlocked")
+		mu.Lock()
+		results[c.Rank()] = p
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	for r := 1; r < np; r++ {
 		for v := range results[0].Parts {
