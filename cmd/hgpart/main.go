@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"hyperbal/internal/hgp"
@@ -32,10 +33,30 @@ func main() {
 		eps    = flag.Float64("eps", 0.05, "allowed imbalance (Eq. 1 epsilon)")
 		seed   = flag.Int64("seed", 1, "random seed")
 		ranks  = flag.Int("ranks", 1, "in-process ranks (>1 uses the parallel partitioner)")
-		direct = flag.Bool("direct", false, "direct k-way instead of recursive bisection")
-		out    = flag.String("o", "", "write part ids to this file")
+		direct      = flag.Bool("direct", false, "direct k-way instead of recursive bisection")
+		out         = flag.String("o", "", "write part ids to this file")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the serial partitioner (0 = GOMAXPROCS; results identical for every value)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(pf))
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			pf, err := os.Create(*memprofile)
+			check(err)
+			defer pf.Close()
+			check(pprof.Lookup("allocs").WriteTo(pf, 0))
+		}()
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hgpart [flags] input.hgr")
 		flag.Usage()
@@ -59,7 +80,7 @@ func main() {
 	fmt.Printf("hypergraph: %d vertices, %d nets, %d pins (avg degree %.1f)\n",
 		stats.NumVertices, stats.NumNets, stats.NumPins, stats.AvgDegree)
 
-	opts := hgp.Options{K: *k, Imbalance: *eps, Seed: *seed, DirectKway: *direct}
+	opts := hgp.Options{K: *k, Imbalance: *eps, Seed: *seed, DirectKway: *direct, Parallelism: *parallelism}
 	start := time.Now()
 	var p partition.Partition
 	if *ranks > 1 {

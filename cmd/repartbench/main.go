@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -27,20 +28,43 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "print Table 1 (paper datasets vs generated analogues)")
-		figure  = flag.Int("figure", 0, "regenerate one paper figure (2-8)")
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		dataset = flag.String("dataset", "", "run a single dataset experiment (registry name)")
-		dynamic = flag.String("dynamic", "structure", "dynamic for -dataset: structure | weights")
-		procs   = flag.String("procs", "8,16,32", "comma-separated part counts")
-		alphas  = flag.String("alphas", "1,10,100,1000", "comma-separated alpha values")
-		par     = flag.Bool("parallel", false, "time the parallel partitioners (phg vs pgp) at each -procs rank count")
-		trials  = flag.Int("trials", 3, "trials per configuration (paper: 20)")
-		epochs  = flag.Int("epochs", 3, "repartitioning epochs per trial")
-		scale   = flag.Int("scale", 0, "vertex count override (0 = dataset default)")
-		seed    = flag.Int64("seed", 1, "base random seed")
+		table1      = flag.Bool("table1", false, "print Table 1 (paper datasets vs generated analogues)")
+		figure      = flag.Int("figure", 0, "regenerate one paper figure (2-8)")
+		all         = flag.Bool("all", false, "regenerate every table and figure")
+		dataset     = flag.String("dataset", "", "run a single dataset experiment (registry name)")
+		dynamic     = flag.String("dynamic", "structure", "dynamic for -dataset: structure | weights")
+		procs       = flag.String("procs", "8,16,32", "comma-separated part counts")
+		alphas      = flag.String("alphas", "1,10,100,1000", "comma-separated alpha values")
+		par         = flag.Bool("parallel", false, "time the parallel partitioners (phg vs pgp) at each -procs rank count")
+		trials      = flag.Int("trials", 3, "trials per configuration (paper: 20)")
+		epochs      = flag.Int("epochs", 3, "repartitioning epochs per trial")
+		scale       = flag.Int("scale", 0, "vertex count override (0 = dataset default)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for the sweep (0 = GOMAXPROCS; results identical for every value)")
+		benchJSON   = flag.String("bench-json", "", "run the tracked benchmark suite and append a snapshot to this JSON file")
+		benchLabel  = flag.String("bench-label", "current", "label for the -bench-json snapshot")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			defer f.Close()
+			check(pprof.Lookup("allocs").WriteTo(f, 0))
+		}()
+	}
 
 	ps, err := parseInts(*procs)
 	check(err)
@@ -49,10 +73,12 @@ func main() {
 
 	base := harness.Config{
 		Procs: ps, Alphas: as, Trials: *trials, Epochs: *epochs,
-		Seed: *seed, ScaleV: *scale,
+		Seed: *seed, ScaleV: *scale, Parallelism: *parallelism,
 	}
 
 	switch {
+	case *benchJSON != "":
+		check(runBenchJSON(*benchJSON, *benchLabel, *parallelism, *seed))
 	case *par:
 		name := *dataset
 		if name == "" {

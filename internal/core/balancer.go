@@ -75,6 +75,10 @@ type Config struct {
 	CoarsenTo     int
 	InitialStarts int
 	RefinePasses  int
+	// Parallelism bounds the worker goroutines of each hypergraph
+	// partitioning call; results are identical for every value
+	// (0 = the partitioner's default, GOMAXPROCS).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -243,6 +247,7 @@ func (b *Balancer) hgpOptions(epoch int64) hgp.Options {
 		CoarsenTo:     b.cfg.CoarsenTo,
 		InitialStarts: b.cfg.InitialStarts,
 		RefinePasses:  b.cfg.RefinePasses,
+		Parallelism:   b.cfg.Parallelism,
 	}
 }
 

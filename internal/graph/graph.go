@@ -6,6 +6,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -85,12 +86,13 @@ func (b *Builder) Build() *Graph {
 	}
 	g.adjncy = make([]int32, 0, total)
 	g.adjwgt = make([]int64, 0, total)
+	var keys []int32 // reused per-vertex sort buffer
 	for u := 0; u < b.n; u++ {
-		keys := make([]int32, 0, len(b.nbrs[u]))
+		keys = keys[:0]
 		for v := range b.nbrs[u] {
 			keys = append(keys, v)
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		slices.Sort(keys)
 		for _, v := range keys {
 			g.adjncy = append(g.adjncy, v)
 			g.adjwgt = append(g.adjwgt, b.nbrs[u][v])

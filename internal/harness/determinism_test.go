@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"testing"
+
+	"hyperbal/internal/core"
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/graph"
+)
+
+// epochTrace records everything a repartition sequence produces that the
+// figures consume: the partition bytes, communication volume, and
+// migration volume of every epoch.
+type epochTrace struct {
+	parts []int32
+	comm  int64
+	mig   int64
+}
+
+// runTrace plays a short balancer epoch sequence and records the full
+// per-epoch outcome.
+func runTrace(t *testing.T, g *graph.Graph, dynamic string, parallelism int) []epochTrace {
+	t.Helper()
+	cfg := Config{
+		Dataset: "xyce680s", // generator selection below doesn't use it
+		Dynamic: dynamic,
+	}.withDefaults()
+	bal, err := core.NewBalancer(core.Config{
+		K: 4, Alpha: 100, Seed: 11, Method: core.HypergraphRepart,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := core.Problem{G: g, H: graph.ToHypergraph(g)}
+	static, err := bal.Partition(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := newGenerator(cfg, g, static.Partition, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []epochTrace
+	for epoch := 1; epoch <= 2; epoch++ {
+		eprob, old := gen.Next()
+		res, err := bal.Repartition(eprob, old, int64(epoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gen.Observe(res.Partition); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, epochTrace{
+			parts: append([]int32(nil), res.Partition.Parts...),
+			comm:  res.CommVolume,
+			mig:   res.MigrationVolume,
+		})
+	}
+	return out
+}
+
+// TestBalancerParallelismDeterminism is the PR's determinism regression
+// gate: on every dataset analogue and both dynamics, the full repartition
+// sequence — partitions, communication volumes, migration volumes — must
+// be byte-identical for Parallelism 1, 2, and 8.
+func TestBalancerParallelismDeterminism(t *testing.T) {
+	names := []string{"xyce680s", "2DLipid", "auto", "apoa1-10", "cage14"}
+	for _, name := range names {
+		for _, dynamic := range []string{"structure", "weights"} {
+			t.Run(name+"/"+dynamic, func(t *testing.T) {
+				g, err := datasets.Generate(name, 260, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := runTrace(t, g, dynamic, 1)
+				for _, par := range []int{2, 8} {
+					got := runTrace(t, g, dynamic, par)
+					for e := range ref {
+						if ref[e].comm != got[e].comm || ref[e].mig != got[e].mig {
+							t.Fatalf("Parallelism=%d epoch %d: comm/mig %d/%d, want %d/%d",
+								par, e+1, got[e].comm, got[e].mig, ref[e].comm, ref[e].mig)
+						}
+						for v := range ref[e].parts {
+							if ref[e].parts[v] != got[e].parts[v] {
+								t.Fatalf("Parallelism=%d epoch %d: partition diverges at vertex %d", par, e+1, v)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunParallelismDeterminism checks the harness sweep itself: the full
+// report must be cell-for-cell identical for every Parallelism value,
+// including the floating-point averages.
+func TestRunParallelismDeterminism(t *testing.T) {
+	base := Config{
+		Dataset: "2DLipid",
+		ScaleV:  220,
+		Dynamic: "structure",
+		Procs:   []int{4},
+		Alphas:  []int64{1, 100},
+		Methods: []core.Method{core.HypergraphRepart, core.HypergraphScratch},
+		Trials:  2,
+		Epochs:  2,
+		Seed:    3,
+	}
+	base.Parallelism = 1
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		cfg := base
+		cfg.Parallelism = par
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Cells) != len(ref.Cells) {
+			t.Fatalf("Parallelism=%d: %d cells, want %d", par, len(got.Cells), len(ref.Cells))
+		}
+		for i := range ref.Cells {
+			r, g := ref.Cells[i], got.Cells[i]
+			// RepartTime is wall clock and legitimately varies.
+			r.RepartTime, g.RepartTime = 0, 0
+			if r != g {
+				t.Errorf("Parallelism=%d cell %d: %+v, want %+v", par, i, g, r)
+			}
+		}
+	}
+}

@@ -9,6 +9,8 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"hyperbal/internal/core"
@@ -39,6 +41,10 @@ type Config struct {
 	PartFrac   float64
 	ScaleMin   float64
 	ScaleMax   float64
+	// Parallelism bounds the worker goroutines sweeping (procs, alpha,
+	// method, trial) cells. Every value produces identical reports; 1
+	// forces the serial sweep. Default runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Dynamic == "" {
 		c.Dynamic = "structure"
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	switch c.Dynamic {
 	case "structure":
@@ -135,26 +144,84 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
+	// Generate the per-trial graphs up front (cheap and serial), then sweep
+	// the independent (trial, procs, alpha, method) cells on a bounded
+	// worker pool. Each task accumulates into a private Cell; the merge into
+	// acc happens in task order afterwards, so the floating-point sums — and
+	// hence the whole report — are identical for every Parallelism value.
+	graphs := make([]*graph.Graph, cfg.Trials)
 	for trial := 0; trial < cfg.Trials; trial++ {
 		seed := cfg.Seed + int64(trial)*104729
 		g, err := datasets.Generate(cfg.Dataset, cfg.ScaleV, seed)
 		if err != nil {
 			return nil, err
 		}
+		graphs[trial] = g
 		if trial == 0 {
 			rep.DatasetStats = graph.ComputeStats(g)
 		}
+	}
+
+	type task struct {
+		trial  int
+		procs  int
+		alpha  int64
+		method core.Method
+		cell   Cell
+		err    error
+	}
+	var tasks []*task
+	for trial := 0; trial < cfg.Trials; trial++ {
 		for _, procs := range cfg.Procs {
 			for _, alpha := range cfg.Alphas {
 				for _, m := range cfg.Methods {
-					cell := acc[key{procs, alpha, m}]
-					if err := runSequence(cfg, g, procs, alpha, m, seed, cell); err != nil {
-						return nil, fmt.Errorf("harness: %s procs=%d alpha=%d %v: %w",
-							cfg.Dataset, procs, alpha, m, err)
-					}
+					tasks = append(tasks, &task{trial: trial, procs: procs, alpha: alpha, method: m})
 				}
 			}
 		}
+	}
+	workers := cfg.Parallelism
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	run := func(t *task) {
+		seed := cfg.Seed + int64(t.trial)*104729
+		t.cell = Cell{Procs: t.procs, Alpha: t.alpha, Method: t.method}
+		t.err = runSequence(cfg, graphs[t.trial], t.procs, t.alpha, t.method, seed, &t.cell)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			run(t)
+		}
+	} else {
+		ch := make(chan *task)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					run(t)
+				}
+			}()
+		}
+		for _, t := range tasks {
+			ch <- t
+		}
+		close(ch)
+		wg.Wait()
+	}
+	for _, t := range tasks {
+		if t.err != nil {
+			return nil, fmt.Errorf("harness: %s procs=%d alpha=%d %v: %w",
+				cfg.Dataset, t.procs, t.alpha, t.method, t.err)
+		}
+		c := acc[key{t.procs, t.alpha, t.method}]
+		c.CommVolume += t.cell.CommVolume
+		c.MigrationVolume += t.cell.MigrationVolume
+		c.Imbalance += t.cell.Imbalance
+		c.RepartTime += t.cell.RepartTime
+		c.Epochs += t.cell.Epochs
 	}
 	// Finalize averages.
 	for _, procs := range cfg.Procs {
@@ -180,9 +247,12 @@ func Run(cfg Config) (*Report, error) {
 // runSequence plays one trial's epoch loop for one (procs, alpha, method)
 // cell, accumulating into cell.
 func runSequence(cfg Config, g *graph.Graph, procs int, alpha int64, m core.Method, seed int64, cell *Cell) error {
+	// Inner partitioner parallelism stays at 1: the harness already keeps
+	// every worker busy with whole cells, and nested workers would only
+	// oversubscribe. Results are identical either way.
 	bal, err := core.NewBalancer(core.Config{
 		K: procs, Alpha: alpha, Imbalance: cfg.Imbalance,
-		Seed: seed*31 + int64(m), Method: m,
+		Seed: seed*31 + int64(m), Method: m, Parallelism: 1,
 	})
 	if err != nil {
 		return err

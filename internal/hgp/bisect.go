@@ -11,13 +11,19 @@ import (
 // multilevel pipeline: IPM coarsening, multi-start greedy hypergraph
 // growing at the coarsest level, and FM refinement at every level.
 // fixedSide maps each vertex to 0, 1, or Free.
-func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, eps float64, opt Options) []int32 {
+//
+// The coarsest-level starts run concurrently on px when workers are free.
+// Each start draws its RNG from startSeed(baseSeed, s) — a function of the
+// start index only — and the winner is chosen by an index-ordered scan
+// (lowest cut, then lowest balance deviation, then lowest start index), so
+// the result is bit-identical for every Parallelism value.
+func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, eps float64, opt Options, px *parctx, ws *workspace) []int32 {
 	hf := h.WithFixed(fixedSide)
 	coarsenTo := opt.CoarsenTo
 	if coarsenTo < 4 {
 		coarsenTo = 4
 	}
-	levels := coarsen(hf, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter)
+	levels := coarsen(hf, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter, ws)
 
 	// Coarsest-level solve: multi-start GHG + FM, keep the best.
 	coarsest := levels[len(levels)-1].h
@@ -29,17 +35,37 @@ func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, 
 	if cc0 < ct0 {
 		cc0 = ct0
 	}
-	var best []int32
-	var bestCut int64 = -1
-	for s := 0; s < opt.InitialStarts; s++ {
-		parts := ghg2(coarsest, rng, cFixed, ct0, cc0, cc1, opt.MaxNetSize)
-		cut := fm2(coarsest, parts, cFixed, cc0, cc1, opt.RefinePasses, opt.MaxNetSize)
-		if bestCut < 0 || cut < bestCut {
-			bestCut = cut
-			best = append(best[:0], parts...)
+	type startOut struct {
+		parts []int32
+		cut   int64
+		dev   int64 // |side-0 weight - target|, the balance tiebreak
+	}
+	outs := make([]startOut, opt.InitialStarts)
+	baseSeed := rng.Int63()
+	px.forEach(opt.InitialStarts, ws, func(s int, sws *workspace) {
+		srng := rand.New(rand.NewSource(startSeed(baseSeed, s)))
+		parts := ghg2(coarsest, srng, cFixed, ct0, cc0, cc1, opt.MaxNetSize, sws)
+		cut := fm2(coarsest, parts, cFixed, cc0, cc1, opt.RefinePasses, opt.MaxNetSize, sws)
+		var w0 int64
+		for v, p := range parts {
+			if p == 0 {
+				w0 += coarsest.Weight(v)
+			}
+		}
+		dev := w0 - ct0
+		if dev < 0 {
+			dev = -dev
+		}
+		outs[s] = startOut{parts: parts, cut: cut, dev: dev}
+	})
+	best := 0
+	for s := 1; s < len(outs); s++ {
+		if outs[s].cut < outs[best].cut ||
+			(outs[s].cut == outs[best].cut && outs[s].dev < outs[best].dev) {
+			best = s
 		}
 	}
-	parts := best
+	parts := outs[best].parts
 
 	// Uncoarsen: project and refine at each finer level.
 	for i := len(levels) - 2; i >= 0; i-- {
@@ -48,7 +74,7 @@ func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, 
 		lt := levels[i].h.TotalWeight()
 		lc0 := int64(float64(lt) * frac0 * (1 + eps))
 		lc1 := int64(float64(lt) * (1 - frac0) * (1 + eps))
-		fm2(levels[i].h, parts, lf, lc0, lc1, opt.RefinePasses, opt.MaxNetSize)
+		fm2(levels[i].h, parts, lf, lc0, lc1, opt.RefinePasses, opt.MaxNetSize, ws)
 	}
 	return parts
 }

@@ -1,13 +1,13 @@
 package hgp
 
 import (
-	"container/heap"
-
 	"hyperbal/internal/hypergraph"
 )
 
 // bisectState tracks incremental cut bookkeeping for a 2-way partition:
-// per-net pin counts on side 0, side weights, and targets/caps.
+// per-net pin counts on side 0, side weights, and targets/caps. The
+// pin-count array comes from the workspace, so building a state per level
+// or per start allocates nothing once the arenas are warm.
 type bisectState struct {
 	h          *hypergraph.Hypergraph
 	parts      []int32
@@ -17,11 +17,12 @@ type bisectState struct {
 	maxNetSize int
 }
 
-func newBisectState(h *hypergraph.Hypergraph, parts []int32, cap0, cap1 int64, maxNetSize int) *bisectState {
-	s := &bisectState{
+func (s *bisectState) init(h *hypergraph.Hypergraph, parts []int32, cap0, cap1 int64, maxNetSize int, ws *workspace) {
+	ws.pins0 = growI32(ws.pins0, h.NumNets())
+	*s = bisectState{
 		h:          h,
 		parts:      parts,
-		pins0:      make([]int32, h.NumNets()),
+		pins0:      ws.pins0,
 		cap:        [2]int64{cap0, cap1},
 		maxNetSize: maxNetSize,
 	}
@@ -37,7 +38,6 @@ func newBisectState(h *hypergraph.Hypergraph, parts []int32, cap0, cap1 int64, m
 		}
 		s.pins0[n] = c
 	}
-	return s
 }
 
 // Cut returns the current cut size (2-way connectivity-1 == cut-net).
@@ -118,51 +118,92 @@ func over(w, cap int64) int64 {
 	return 0
 }
 
-// gainHeap is a max-heap of (vertex, gain) entries with lazy invalidation
-// via per-vertex stamps.
+// gainEntry is one (vertex, gain) heap record; stale entries are detected
+// by stamp comparison.
 type gainEntry struct {
 	v     int32
 	gain  int64
 	stamp uint32
 }
 
+// gainHeap is a max-heap of (vertex, gain) entries with lazy invalidation
+// via per-vertex stamps. It is a hand-rolled binary heap: container/heap
+// boxes every entry into an interface value, which made each push an
+// allocation and dominated the FM kernels' allocation profile. Pops come
+// out in (gain desc, vertex asc) order, a total order over live entries,
+// so the pop sequence is implementation-independent and deterministic.
 type gainHeap struct {
 	entries []gainEntry
 	stamp   []uint32 // current stamp per vertex
 }
 
-func newGainHeap(n int) *gainHeap {
-	return &gainHeap{stamp: make([]uint32, n)}
+// reset prepares the heap for n vertices, clearing entries and stamps but
+// keeping capacity.
+func (g *gainHeap) reset(n int) {
+	g.entries = g.entries[:0]
+	if cap(g.stamp) < n {
+		g.stamp = make([]uint32, n)
+		return
+	}
+	g.stamp = g.stamp[:n]
+	clear(g.stamp)
 }
 
-func (g *gainHeap) Len() int { return len(g.entries) }
-func (g *gainHeap) Less(i, j int) bool {
+func (g *gainHeap) less(i, j int) bool {
 	if g.entries[i].gain != g.entries[j].gain {
 		return g.entries[i].gain > g.entries[j].gain
 	}
 	return g.entries[i].v < g.entries[j].v
 }
-func (g *gainHeap) Swap(i, j int) { g.entries[i], g.entries[j] = g.entries[j], g.entries[i] }
-func (g *gainHeap) Push(x any)    { g.entries = append(g.entries, x.(gainEntry)) }
-func (g *gainHeap) Pop() any {
-	old := g.entries
-	n := len(old)
-	e := old[n-1]
-	g.entries = old[:n-1]
-	return e
+
+func (g *gainHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !g.less(i, parent) {
+			break
+		}
+		g.entries[i], g.entries[parent] = g.entries[parent], g.entries[i]
+		i = parent
+	}
+}
+
+func (g *gainHeap) down(i int) {
+	n := len(g.entries)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && g.less(r, l) {
+			best = r
+		}
+		if !g.less(best, i) {
+			break
+		}
+		g.entries[i], g.entries[best] = g.entries[best], g.entries[i]
+		i = best
+	}
 }
 
 // update (re)inserts v with the given gain, invalidating earlier entries.
 func (g *gainHeap) update(v int, gain int64) {
 	g.stamp[v]++
-	heap.Push(g, gainEntry{v: int32(v), gain: gain, stamp: g.stamp[v]})
+	g.entries = append(g.entries, gainEntry{v: int32(v), gain: gain, stamp: g.stamp[v]})
+	g.up(len(g.entries) - 1)
 }
 
 // popValid removes and returns the best currently valid entry, or ok=false
 // when the heap is exhausted.
 func (g *gainHeap) popValid() (gainEntry, bool) {
-	for g.Len() > 0 {
-		e := heap.Pop(g).(gainEntry)
+	for len(g.entries) > 0 {
+		e := g.entries[0]
+		last := len(g.entries) - 1
+		g.entries[0] = g.entries[last]
+		g.entries = g.entries[:last]
+		if last > 0 {
+			g.down(0)
+		}
 		if e.stamp == g.stamp[e.v] {
 			return e, true
 		}

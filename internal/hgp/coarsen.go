@@ -17,12 +17,12 @@ type level struct {
 // its h is the coarsest hypergraph. Coarsening stops when the vertex count
 // drops to coarsenTo or a round shrinks the hypergraph by less than
 // minShrink.
-func coarsen(h *hypergraph.Hypergraph, rng *rand.Rand, coarsenTo int, minShrink float64, maxNetSize int, filterFixed bool) []level {
+func coarsen(h *hypergraph.Hypergraph, rng *rand.Rand, coarsenTo int, minShrink float64, maxNetSize int, filterFixed bool, ws *workspace) []level {
 	levels := []level{{h: h}}
 	cur := h
 	for cur.NumVertices() > coarsenTo {
-		match := ipmMatch(cur, rng, maxNetSize, filterFixed)
-		coarse, cmap := Contract(cur, match)
+		match := ipmMatch(cur, rng, maxNetSize, filterFixed, ws)
+		coarse, cmap := contractWS(cur, match, ws)
 		shrink := 1 - float64(coarse.NumVertices())/float64(cur.NumVertices())
 		if shrink < minShrink {
 			break // unsuccessful coarsening; stop early

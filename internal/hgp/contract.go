@@ -1,13 +1,12 @@
 package hgp
 
 import (
-	"hash/fnv"
-	"sort"
+	"slices"
 
 	"hyperbal/internal/hypergraph"
 )
 
-// contract builds the coarse hypergraph induced by a match vector.
+// Contract builds the coarse hypergraph induced by a match vector.
 // It returns the coarse hypergraph and the coarse map cmap (fine vertex ->
 // coarse vertex). Coarse vertex weight and size are the sums of the
 // constituents. Fixed labels propagate by the three-case rule of
@@ -15,6 +14,15 @@ import (
 // fixed part, free pairs stay free. Single-pin coarse nets are dropped;
 // identical coarse nets are merged with summed costs.
 func Contract(h *hypergraph.Hypergraph, match []int32) (*hypergraph.Hypergraph, []int32) {
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+	return contractWS(h, match, ws)
+}
+
+// contractWS is Contract with explicit scratch space: the dedup hash table,
+// per-net pin buffer, and dedup marks live in ws, so coarsening a level
+// allocates only the coarse CSR arrays and cmap that outlive the call.
+func contractWS(h *hypergraph.Hypergraph, match []int32, ws *workspace) (*hypergraph.Hypergraph, []int32) {
 	n := h.NumVertices()
 	cmap := make([]int32, n)
 	for v := range cmap {
@@ -35,32 +43,52 @@ func Contract(h *hypergraph.Hypergraph, match []int32) (*hypergraph.Hypergraph, 
 
 	weights := make([]int64, numCoarse)
 	sizes := make([]int64, numCoarse)
-	fixed := make([]int32, numCoarse)
+	var fixed []int32
 	hasFixed := false
-	for i := range fixed {
-		fixed[i] = hypergraph.Free
+	if h.HasFixed() {
+		fixed = make([]int32, numCoarse)
+		for i := range fixed {
+			fixed[i] = hypergraph.Free
+		}
 	}
 	for v := 0; v < n; v++ {
 		c := cmap[v]
 		weights[c] += h.Weight(v)
 		sizes[c] += h.Size(v)
-		if f := h.Fixed(v); f != hypergraph.Free {
-			fixed[c] = f
-			hasFixed = true
+		if fixed != nil {
+			if f := h.Fixed(v); f != hypergraph.Free {
+				fixed[c] = f
+				hasFixed = true
+			}
 		}
 	}
-
-	// Build coarse nets with dedup of identical pin sets.
-	type netKey struct {
-		hash uint64
-		size int
+	if !hasFixed {
+		fixed = nil
 	}
-	seen := make(map[netKey][]int, h.NumNets()/2+1) // key -> candidate coarse net ids
-	var coarsePins [][]int32
-	var coarseCosts []int64
 
-	mark := make([]bool, numCoarse)
-	buf := make([]int32, 0, 64)
+	// Coarse nets, deduplicated through an open-addressing table keyed by
+	// the sorted pin list. Slots hold coarse net ids (or -1 when empty);
+	// probing compares actual pin lists, so hash collisions are benign.
+	// Nets are appended in fine-net order, keeping output deterministic.
+	tabSize := 1
+	for tabSize < 2*h.NumNets() {
+		tabSize *= 2
+	}
+	ws.htab = growI32(ws.htab, tabSize)
+	htab := ws.htab
+	for i := range htab {
+		htab[i] = -1
+	}
+	mask := uint64(tabSize - 1)
+
+	ws.cmark = growBool(ws.cmark, numCoarse)
+	mark := ws.cmark
+	buf := ws.pinBuf[:0]
+
+	netStart := make([]int32, 1, h.NumNets()+1)
+	netPins := make([]int32, 0, h.NumPins())
+	costs := make([]int64, 0, h.NumNets())
+
 	for netID := 0; netID < h.NumNets(); netID++ {
 		buf = buf[:0]
 		for _, p := range h.Pins(netID) {
@@ -76,49 +104,37 @@ func Contract(h *hypergraph.Hypergraph, match []int32) (*hypergraph.Hypergraph, 
 		if len(buf) < 2 {
 			continue // uncuttable net
 		}
-		pins := append([]int32(nil), buf...)
-		sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
-		key := netKey{hash: hashPins(pins), size: len(pins)}
-		merged := false
-		for _, id := range seen[key] {
-			if equalPins(coarsePins[id], pins) {
-				coarseCosts[id] += h.Cost(netID)
-				merged = true
+		slices.Sort(buf)
+		slot := hashPins(buf) & mask
+		for {
+			id := htab[slot]
+			if id == -1 {
+				htab[slot] = int32(len(costs))
+				netPins = append(netPins, buf...)
+				netStart = append(netStart, int32(len(netPins)))
+				costs = append(costs, h.Cost(netID))
 				break
 			}
-		}
-		if !merged {
-			seen[key] = append(seen[key], len(coarsePins))
-			coarsePins = append(coarsePins, pins)
-			coarseCosts = append(coarseCosts, h.Cost(netID))
+			if equalPins(netPins[netStart[id]:netStart[id+1]], buf) {
+				costs[id] += h.Cost(netID)
+				break
+			}
+			slot = (slot + 1) & mask
 		}
 	}
+	ws.pinBuf = buf
 
-	b := hypergraph.NewBuilder(numCoarse)
-	for c := 0; c < numCoarse; c++ {
-		b.SetWeight(c, weights[c])
-		b.SetSize(c, sizes[c])
-		if hasFixed && fixed[c] != hypergraph.Free {
-			b.Fix(c, int(fixed[c]))
-		}
-	}
-	for i, pins := range coarsePins {
-		b.AddNetInt32(coarseCosts[i], pins)
-	}
-	return b.Build(), cmap
+	return hypergraph.FromCSR(netStart, netPins, costs, weights, sizes, fixed), cmap
 }
 
+// hashPins is an FNV-1a-style hash over the pin ids.
 func hashPins(pins []int32) uint64 {
-	h := fnv.New64a()
-	var b [4]byte
+	h := uint64(14695981039346656037)
 	for _, p := range pins {
-		b[0] = byte(p)
-		b[1] = byte(p >> 8)
-		b[2] = byte(p >> 16)
-		b[3] = byte(p >> 24)
-		h.Write(b[:])
+		h ^= uint64(uint32(p))
+		h *= 1099511628211
 	}
-	return h.Sum64()
+	return h
 }
 
 func equalPins(a, b []int32) bool {

@@ -8,16 +8,20 @@ import (
 // heuristic with pass-pairs and prefix rollback (Section 4.3). Vertices
 // with fixedSide != Free are never moved. parts must be a 0/1 assignment.
 // It returns the final cut size.
-func fm2(h *hypergraph.Hypergraph, parts []int32, fixedSide []int32, cap0, cap1 int64, maxPasses, maxNetSize int) int64 {
+func fm2(h *hypergraph.Hypergraph, parts []int32, fixedSide []int32, cap0, cap1 int64, maxPasses, maxNetSize int, ws *workspace) int64 {
 	n := h.NumVertices()
-	s := newBisectState(h, parts, cap0, cap1, maxNetSize)
+	var s bisectState
+	s.init(h, parts, cap0, cap1, maxNetSize, ws)
 	bestCut := s.Cut()
 
-	moved := make([]int32, 0, n) // move order within a pass, for rollback
-	locked := make([]bool, n)
+	moved := growI32(ws.moved, n)[:0] // move order within a pass, for rollback
+	ws.locked = growBool(ws.locked, n)
+	locked := ws.locked
+	gh := &ws.heap
+	stash := ws.stash[:0]
 
 	for pass := 0; pass < maxPasses; pass++ {
-		gh := newGainHeap(n)
+		gh.reset(n)
 		for v := 0; v < n; v++ {
 			locked[v] = false
 			if fixedSide[v] == hypergraph.Free {
@@ -32,7 +36,7 @@ func fm2(h *hypergraph.Hypergraph, parts []int32, fixedSide []int32, cap0, cap1 
 		sinceBest := 0
 		limit := n/20 + 50
 
-		var stash []gainEntry
+		stash = stash[:0]
 		for {
 			e, ok := gh.popValid()
 			if !ok {
@@ -93,5 +97,7 @@ func fm2(h *hypergraph.Hypergraph, parts []int32, fixedSide []int32, cap0, cap1 
 		bestCut = bestPrefixCut
 	}
 	_ = bestCut
+	ws.moved = moved
+	ws.stash = stash
 	return s.Cut()
 }

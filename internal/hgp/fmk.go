@@ -12,12 +12,16 @@ import (
 // shallower local minima; Options.KwayFM selects it for the final polish
 // (the A5 ablation measures the trade-off). Fixed vertices never move.
 // Returns the final cut.
-func refineKwayFM(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, maxPasses int) int64 {
+func refineKwayFM(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, maxPasses int, ws *workspace) int64 {
 	n := h.NumVertices()
-	s := NewKwayState(h, k, parts)
-	buf := make([]int32, 0, k)
-	mark := make([]bool, k)
-	locked := make([]bool, n)
+	s := ws.kwayState(h, k, parts)
+	defer s.release()
+	ws.kbuf = growI32(ws.kbuf, k)
+	buf := ws.kbuf[:0]
+	ws.kmark = growBool(ws.kmark, k)
+	mark := ws.kmark
+	ws.klocked = growBool(ws.klocked, n)
+	locked := ws.klocked
 
 	bestMove := func(v int) (int32, int64) {
 		cands := s.AdjacentParts(v, buf, mark)
@@ -40,8 +44,9 @@ func refineKwayFM(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, 
 		from int32
 	}
 
+	gh := &ws.heap
 	for pass := 0; pass < maxPasses; pass++ {
-		gh := newGainHeap(n)
+		gh.reset(n)
 		inHeap := 0
 		for v := 0; v < n; v++ {
 			locked[v] = false

@@ -12,8 +12,10 @@ import (
 // target0 is the desired weight of side 0; cap0/cap1 bound the sides.
 //
 // fixedSide must map each vertex to 0, 1, or hypergraph.Free (side-folded
-// labels, not original part ids).
-func ghg2(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, target0, cap0, cap1 int64, maxNetSize int) []int32 {
+// labels, not original part ids). The returned partition is freshly
+// allocated (multi-start keeps several alive at once); all other scratch
+// lives in ws.
+func ghg2(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, target0, cap0, cap1 int64, maxNetSize int, ws *workspace) []int32 {
 	n := h.NumVertices()
 	parts := make([]int32, n)
 	for v := range parts {
@@ -24,13 +26,17 @@ func ghg2(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, target0, 
 			parts[v] = 0
 		}
 	}
-	s := newBisectState(h, parts, cap0, cap1, maxNetSize)
+	var s bisectState
+	s.init(h, parts, cap0, cap1, maxNetSize, ws)
 
-	gh := newGainHeap(n)
-	inHeap := make([]bool, n)
+	gh := &ws.heap
+	gh.reset(n)
+	ws.inHeap = growBool(ws.inHeap, n)
+	inHeap := ws.inHeap
 	// dead marks vertices that can no longer fit side 0; since side 0 only
 	// grows, a vertex that overfills once overfills forever.
-	dead := make([]bool, n)
+	ws.dead = growBool(ws.dead, n)
+	dead := ws.dead
 	seed := func() bool {
 		// find a random movable vertex on side 1 to restart growth
 		start := rng.Intn(n)

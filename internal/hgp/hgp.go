@@ -27,22 +27,25 @@ func Partition(h *hypergraph.Hypergraph, opt Options) (partition.Partition, erro
 		return p, nil
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
+	px := newParctx(opt.Parallelism)
+	ws := px.getWS()
+	defer px.putWS(ws)
 
 	if opt.DirectKway {
-		directKway(h, rng, opt, p.Parts)
+		directKway(h, rng, opt, p.Parts, px, ws)
 	} else {
 		vs := make([]int32, h.NumVertices())
 		for v := range vs {
 			vs[v] = int32(v)
 		}
 		eps := bisectionEps(opt.Imbalance, opt.K)
-		recursiveBisect(h, vs, 0, opt.K, p.Parts, rng, eps, opt.TargetFractions, opt)
+		recursiveBisect(h, vs, 0, opt.K, p.Parts, rng, eps, opt.TargetFractions, opt, px, ws)
 		// Final k-way polish pass to recover from per-bisection myopia.
 		caps := capsForTargets(h, opt.K, opt.Imbalance, opt.TargetFractions)
 		if opt.KwayFM {
-			refineKwayFM(h, opt.K, p.Parts, caps, opt.RefinePasses)
+			refineKwayFM(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
 		} else {
-			refineKway(h, opt.K, p.Parts, caps, opt.RefinePasses)
+			refineKway(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
 		}
 	}
 	return p, nil
@@ -50,32 +53,55 @@ func Partition(h *hypergraph.Hypergraph, opt Options) (partition.Partition, erro
 
 // directKway runs one multilevel pipeline with k-way coarse solution and
 // k-way refinement (the A3 ablation path).
-func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int32) {
+func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int32, px *parctx, ws *workspace) {
 	coarsenTo := opt.CoarsenTo
 	if coarsenTo < 2*opt.K {
 		coarsenTo = 2 * opt.K
 	}
-	levels := coarsen(h, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter)
+	levels := coarsen(h, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter, ws)
 	coarsest := levels[len(levels)-1].h
 
 	// Coarse solution: balanced random assignment honoring fixed labels,
-	// improved by k-way refinement; multi-start keeps the best.
+	// improved by k-way refinement; multi-start keeps the best. Starts run
+	// concurrently with index-derived seeds and are reduced by an
+	// index-ordered scan (cut, then total cap overflow, then index), so the
+	// winner is the same for every Parallelism value.
 	ccaps := capsForTargets(coarsest, opt.K, opt.Imbalance, opt.TargetFractions)
-	var best []int32
-	var bestCut int64 = -1
-	for s := 0; s < opt.InitialStarts; s++ {
-		parts := randomBalanced(coarsest, opt.K, opt.TargetFractions, rng)
-		cut := refineKway(coarsest, opt.K, parts, ccaps, opt.RefinePasses*2)
-		if bestCut < 0 || cut < bestCut {
-			bestCut = cut
-			best = append(best[:0], parts...)
+	type startOut struct {
+		parts []int32
+		cut   int64
+		over  int64
+	}
+	outs := make([]startOut, opt.InitialStarts)
+	baseSeed := rng.Int63()
+	px.forEach(opt.InitialStarts, ws, func(s int, sws *workspace) {
+		srng := rand.New(rand.NewSource(startSeed(baseSeed, s)))
+		parts := randomBalanced(coarsest, opt.K, opt.TargetFractions, srng)
+		cut := refineKway(coarsest, opt.K, parts, ccaps, opt.RefinePasses*2, sws)
+		w := make([]int64, opt.K)
+		for v, p := range parts {
+			w[p] += coarsest.Weight(v)
+		}
+		var over int64
+		for p := range w {
+			if w[p] > ccaps[p] {
+				over += w[p] - ccaps[p]
+			}
+		}
+		outs[s] = startOut{parts: parts, cut: cut, over: over}
+	})
+	best := 0
+	for s := 1; s < len(outs); s++ {
+		if outs[s].cut < outs[best].cut ||
+			(outs[s].cut == outs[best].cut && outs[s].over < outs[best].over) {
+			best = s
 		}
 	}
-	parts := best
+	parts := outs[best].parts
 	for i := len(levels) - 2; i >= 0; i-- {
 		parts = project(levels[i].cmap, parts)
 		caps := capsForTargets(levels[i].h, opt.K, opt.Imbalance, opt.TargetFractions)
-		refineKway(levels[i].h, opt.K, parts, caps, opt.RefinePasses)
+		refineKway(levels[i].h, opt.K, parts, caps, opt.RefinePasses, ws)
 	}
 	copy(out, parts)
 }

@@ -203,7 +203,7 @@ func TestIPMMatchLegality(t *testing.T) {
 		fixed[v] = int32(v % 3)
 	}
 	hf := h.WithFixed(fixed)
-	match := ipmMatch(hf, rng, 500, true)
+	match := ipmMatch(hf, rng, 500, true, newWorkspace())
 	for v := 0; v < 80; v++ {
 		u := int(match[v])
 		if u < 0 || u >= 80 {
@@ -224,7 +224,7 @@ func TestIPMMatchLegality(t *testing.T) {
 func TestContractConservation(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	h := randomHG(rng, 100, 160, 6)
-	match := ipmMatch(h, rng, 500, true)
+	match := ipmMatch(h, rng, 500, true, newWorkspace())
 	coarse, cmap := Contract(h, match)
 	if err := coarse.Validate(); err != nil {
 		t.Fatal(err)
@@ -261,7 +261,7 @@ func TestProjectedCutInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	for trial := 0; trial < 10; trial++ {
 		h := randomHG(rng, 60, 90, 5)
-		match := ipmMatch(h, rng, 500, true)
+		match := ipmMatch(h, rng, 500, true, newWorkspace())
 		coarse, cmap := Contract(h, match)
 		k := 2 + rng.Intn(3)
 		cp := make([]int32, coarse.NumVertices())
@@ -292,7 +292,7 @@ func TestFM2NeverWorsensCut(t *testing.T) {
 		before := partition.CutSize(h, partition.Partition{Parts: append([]int32(nil), parts...), K: 2})
 		total := h.TotalWeight()
 		cap := int64(float64(total) * 0.55)
-		fm2(h, parts, fixed, cap, cap, 4, 500)
+		fm2(h, parts, fixed, cap, cap, 4, 500, newWorkspace())
 		after := partition.CutSize(h, partition.Partition{Parts: parts, K: 2})
 		if after > before {
 			t.Fatalf("trial %d: FM worsened cut %d -> %d", trial, before, after)
@@ -315,7 +315,7 @@ func TestFM2RespectsFixed(t *testing.T) {
 	want := append([]int32(nil), parts[:10]...)
 	total := h.TotalWeight()
 	cap := int64(float64(total) * 0.6)
-	fm2(h, parts, fixed, cap, cap, 4, 500)
+	fm2(h, parts, fixed, cap, cap, 4, 500, newWorkspace())
 	for v := 0; v < 10; v++ {
 		if parts[v] != want[v] {
 			t.Fatalf("FM moved fixed vertex %d", v)
@@ -334,7 +334,7 @@ func TestRefineKwayNeverWorsens(t *testing.T) {
 		}
 		before := partition.CutSize(h, partition.Partition{Parts: append([]int32(nil), parts...), K: k})
 		caps := capsFor(h, k, 0.3)
-		refineKway(h, k, parts, caps, 4)
+		refineKway(h, k, parts, caps, 4, newWorkspace())
 		after := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
 		if after > before {
 			t.Fatalf("trial %d: k-way refinement worsened cut %d -> %d", trial, before, after)
@@ -376,7 +376,7 @@ func TestGHGReachesTarget(t *testing.T) {
 	for v := range fixed {
 		fixed[v] = hypergraph.Free
 	}
-	parts := ghg2(h, rng, fixed, 50, 55, 55, 500)
+	parts := ghg2(h, rng, fixed, 50, 55, 55, 500, newWorkspace())
 	var w0 int64
 	for v, p := range parts {
 		if p == 0 {
@@ -397,7 +397,7 @@ func TestGHGFixedSeedsAndExclusions(t *testing.T) {
 	}
 	fixed[0] = 0  // must end on side 0
 	fixed[63] = 1 // must never be absorbed
-	parts := ghg2(h, rng, fixed, 32, 36, 36, 500)
+	parts := ghg2(h, rng, fixed, 32, 36, 36, 500, newWorkspace())
 	if parts[0] != 0 {
 		t.Fatal("side-0 fixed vertex not on side 0")
 	}
@@ -486,7 +486,7 @@ func TestKwayFMPolish(t *testing.T) {
 	}
 	before := partition.CutSize(h, partition.Partition{Parts: append([]int32(nil), parts...), K: k})
 	caps := capsFor(h, k, 0.4)
-	refineKwayFM(h, k, parts, caps, 4)
+	refineKwayFM(h, k, parts, caps, 4, newWorkspace())
 	after := partition.CutSize(h, partition.Partition{Parts: parts, K: k})
 	if after > before {
 		t.Fatalf("k-way FM worsened cut %d -> %d", before, after)
@@ -520,7 +520,7 @@ func TestKwayFMRespectsFixed(t *testing.T) {
 		}
 	}
 	caps := capsFor(hf, 3, 0.5)
-	refineKwayFM(hf, 3, parts, caps, 3)
+	refineKwayFM(hf, 3, parts, caps, 3, newWorkspace())
 	for v := 0; v < 20; v++ {
 		if parts[v] != fixed[v] {
 			t.Fatalf("FM moved fixed vertex %d", v)

@@ -10,24 +10,37 @@ import (
 // honoring the fixed-vertex compatibility filter of Section 4.1: two
 // vertices fixed to different parts never match. The returned match vector
 // has match[v] == u (and match[u] == v) for matched pairs and
-// match[v] == v for singletons.
+// match[v] == v for singletons. It aliases workspace storage and is valid
+// until the next ipmMatch call on the same workspace.
 //
 // The similarity (inner product / heavy connectivity) between u and v is
 // sum over shared nets n of cost(n)/(|n|-1); nets larger than maxNetSize
 // are skipped for speed.
-func ipmMatch(h *hypergraph.Hypergraph, rng *rand.Rand, maxNetSize int, filterFixed bool) []int32 {
+func ipmMatch(h *hypergraph.Hypergraph, rng *rand.Rand, maxNetSize int, filterFixed bool, ws *workspace) []int32 {
 	n := h.NumVertices()
-	match := make([]int32, n)
+	ws.match = growI32(ws.match, n)
+	match := ws.match
 	for v := range match {
 		match[v] = -1
 	}
-	order := rng.Perm(n)
+	// Fisher–Yates fill, identical to rand.Perm but into a reused buffer.
+	ws.perm = growI32(ws.perm, n)
+	order := ws.perm
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		order[i] = order[j]
+		order[j] = int32(i)
+	}
 
-	// score accumulation scratch: candidate -> accumulated score
-	score := make([]float64, n)
-	touched := make([]int32, 0, 64)
+	// score accumulation scratch: candidate -> accumulated score. The
+	// selection loop restores every touched entry to zero, so the all-zero
+	// invariant holds across calls.
+	ws.score = growF64(ws.score, n)
+	score := ws.score
+	touched := ws.touched[:0]
 
-	for _, u := range order {
+	for _, uu := range order {
+		u := int(uu)
 		if match[u] != -1 {
 			continue
 		}
@@ -83,5 +96,6 @@ func ipmMatch(h *hypergraph.Hypergraph, rng *rand.Rand, maxNetSize int, filterFi
 			match[u] = int32(u)
 		}
 	}
+	ws.touched = touched
 	return match
 }

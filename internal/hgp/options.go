@@ -9,6 +9,7 @@ package hgp
 
 import (
 	"math"
+	"runtime"
 )
 
 // Options control the multilevel partitioner.
@@ -51,6 +52,11 @@ type Options struct {
 	// fixed vertices exist and the filter is off at coarse-solution time,
 	// so fixed assignment is still enforced there).
 	DisableMatchFilter bool
+	// Parallelism bounds the worker goroutines of one Partition call
+	// (recursive-bisection sides and coarse multi-starts). Results are
+	// bit-identical for every value; 1 forces fully serial execution.
+	// Default runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // withDefaults fills unset fields.
@@ -75,6 +81,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxNetSize <= 0 {
 		o.MaxNetSize = 500
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

@@ -2,7 +2,7 @@ package hgp
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"hyperbal/internal/hypergraph"
 )
@@ -12,7 +12,13 @@ import (
 // out. sub is the sub-hypergraph induced by vs (sub vertex i == global
 // vertex vs[i]). Fixed labels on sub are original part ids; they are folded
 // per Section 4.4 at each bisection.
-func recursiveBisect(sub *hypergraph.Hypergraph, vs []int32, lo, hi int, out []int32, rng *rand.Rand, eps float64, fracs []float64, opt Options) {
+//
+// After a bisection the two sides are independent: the left recursion may
+// run on a px worker while the right continues on the caller's goroutine.
+// Each side receives an RNG seeded from the parent's stream in a fixed
+// order (left first), and the sides write disjoint ranges of out, so the
+// result does not depend on the interleaving.
+func recursiveBisect(sub *hypergraph.Hypergraph, vs []int32, lo, hi int, out []int32, rng *rand.Rand, eps float64, fracs []float64, opt Options, px *parctx, ws *workspace) {
 	k := hi - lo
 	if k <= 1 || sub.NumVertices() == 0 {
 		for _, v := range vs {
@@ -39,7 +45,10 @@ func recursiveBisect(sub *hypergraph.Hypergraph, vs []int32, lo, hi int, out []i
 	}
 
 	// Fold fixed labels: parts [lo,mid) -> side 0, [mid,hi) -> side 1.
-	fixedSide := make([]int32, sub.NumVertices())
+	// The slice must stay untouched for the duration of bisect (the fixed
+	// view aliases it), but is dead before the recursion reuses ws.
+	ws.fixedSide = growI32(ws.fixedSide, sub.NumVertices())
+	fixedSide := ws.fixedSide
 	for v := range fixedSide {
 		f := sub.Fixed(v)
 		switch {
@@ -52,7 +61,7 @@ func recursiveBisect(sub *hypergraph.Hypergraph, vs []int32, lo, hi int, out []i
 		}
 	}
 
-	sides := bisect(sub, rng, fixedSide, frac0, eps, opt)
+	sides := bisect(sub, rng, fixedSide, frac0, eps, opt, px, ws)
 
 	if k == 2 {
 		for i, v := range vs {
@@ -60,19 +69,26 @@ func recursiveBisect(sub *hypergraph.Hypergraph, vs []int32, lo, hi int, out []i
 		}
 		return
 	}
-	left, leftVs := induce(sub, vs, sides, 0)
-	right, rightVs := induce(sub, vs, sides, 1)
-	recursiveBisect(left, leftVs, lo, mid, out, rng, eps, fracs, opt)
-	recursiveBisect(right, rightVs, mid, hi, out, rng, eps, fracs, opt)
+	left, leftVs := induce(sub, vs, sides, 0, ws)
+	right, rightVs := induce(sub, vs, sides, 1, ws)
+	seedL := rng.Int63()
+	seedR := rng.Int63()
+	join := px.fork(func(ws2 *workspace) {
+		recursiveBisect(left, leftVs, lo, mid, out, rand.New(rand.NewSource(seedL)), eps, fracs, opt, px, ws2)
+	})
+	recursiveBisect(right, rightVs, mid, hi, out, rand.New(rand.NewSource(seedR)), eps, fracs, opt, px, ws)
+	join()
 }
 
 // induce extracts the side sub-hypergraph: vertices of sub on the given
 // side, nets restricted to pins on that side (nets reduced below two pins
 // are dropped; they can no longer be cut within the side). Fixed labels
 // (original part ids) carry over. The returned vertex list maps new sub
-// indices to global ids.
-func induce(sub *hypergraph.Hypergraph, vs []int32, sides []int32, side int32) (*hypergraph.Hypergraph, []int32) {
-	newID := make([]int32, sub.NumVertices())
+// indices to global ids. The CSR arrays are assembled directly; only the
+// id-remap table is workspace scratch.
+func induce(sub *hypergraph.Hypergraph, vs []int32, sides []int32, side int32, ws *workspace) (*hypergraph.Hypergraph, []int32) {
+	ws.newID = growI32(ws.newID, sub.NumVertices())
+	newID := ws.newID
 	for i := range newID {
 		newID[i] = -1
 	}
@@ -83,31 +99,52 @@ func induce(sub *hypergraph.Hypergraph, vs []int32, sides []int32, side int32) (
 			keepVs = append(keepVs, vs[v])
 		}
 	}
-	b := hypergraph.NewBuilder(len(keepVs))
+	nKeep := len(keepVs)
+	weights := make([]int64, nKeep)
+	sizes := make([]int64, nKeep)
+	var fixed []int32
+	if sub.HasFixed() {
+		fixed = make([]int32, nKeep)
+		for i := range fixed {
+			fixed[i] = hypergraph.Free
+		}
+	}
+	hasFixed := false
 	for v := 0; v < sub.NumVertices(); v++ {
-		if newID[v] < 0 {
+		i := newID[v]
+		if i < 0 {
 			continue
 		}
-		i := int(newID[v])
-		b.SetWeight(i, sub.Weight(v))
-		b.SetSize(i, sub.Size(v))
-		if f := sub.Fixed(v); f != hypergraph.Free {
-			b.Fix(i, int(f))
-		}
-	}
-	pins := make([]int32, 0, 64)
-	for n := 0; n < sub.NumNets(); n++ {
-		pins = pins[:0]
-		for _, p := range sub.Pins(n) {
-			if newID[p] >= 0 {
-				pins = append(pins, newID[p])
+		weights[i] = sub.Weight(v)
+		sizes[i] = sub.Size(v)
+		if fixed != nil {
+			if f := sub.Fixed(v); f != hypergraph.Free {
+				fixed[i] = f
+				hasFixed = true
 			}
 		}
-		if len(pins) >= 2 {
-			sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
-			b.AddNetInt32(sub.Cost(n), pins) // builder copies the pin values
-
-		}
 	}
-	return b.Build(), keepVs
+	if !hasFixed {
+		fixed = nil
+	}
+
+	netStart := make([]int32, 1, sub.NumNets()+1)
+	netPins := make([]int32, 0, sub.NumPins())
+	var costs []int64
+	for n := 0; n < sub.NumNets(); n++ {
+		mark := len(netPins)
+		for _, p := range sub.Pins(n) {
+			if newID[p] >= 0 {
+				netPins = append(netPins, newID[p])
+			}
+		}
+		if len(netPins)-mark < 2 {
+			netPins = netPins[:mark]
+			continue
+		}
+		slices.Sort(netPins[mark:])
+		netStart = append(netStart, int32(len(netPins)))
+		costs = append(costs, sub.Cost(n))
+	}
+	return hypergraph.FromCSR(netStart, netPins, costs, weights, sizes, fixed), keepVs
 }

@@ -26,6 +26,14 @@ func NewKwayState(h *hypergraph.Hypergraph, k int, parts []int32) *KwayState {
 		lambda:   make([]int32, h.NumNets()),
 		w:        make([]int64, k),
 	}
+	s.accumulate()
+	return s
+}
+
+// accumulate fills part weights, per-net part pin counts, and
+// connectivities from scratch; pinCount, lambda, and w must be zeroed.
+func (s *KwayState) accumulate() {
+	h, k, parts := s.h, s.k, s.parts
 	for v := 0; v < h.NumVertices(); v++ {
 		s.w[parts[v]] += h.Weight(v)
 	}
@@ -39,7 +47,6 @@ func NewKwayState(h *hypergraph.Hypergraph, k int, parts []int32) *KwayState {
 			s.pinCount[base+int(q)]++
 		}
 	}
-	return s
 }
 
 // Cut returns the current connectivity-1 cut.
@@ -121,10 +128,13 @@ func (s *KwayState) AdjacentParts(v int, buf []int32, mark []bool) []int32 {
 // refineKway performs greedy k-way refinement passes: each pass visits all
 // vertices and applies the best positive-gain balanced move. Fixed vertices
 // never move. Returns the final cut.
-func refineKway(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, passes int) int64 {
-	s := NewKwayState(h, k, parts)
-	buf := make([]int32, 0, k)
-	mark := make([]bool, k)
+func refineKway(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, passes int, ws *workspace) int64 {
+	s := ws.kwayState(h, k, parts)
+	defer s.release()
+	ws.kbuf = growI32(ws.kbuf, k)
+	ws.kmark = growBool(ws.kmark, k)
+	buf := ws.kbuf[:0]
+	mark := ws.kmark
 	for pass := 0; pass < passes; pass++ {
 		improved := false
 		for v := 0; v < h.NumVertices(); v++ {

@@ -14,6 +14,8 @@ import (
 // partition itself, improved by refinement on the way back up. Each cycle
 // can only improve the cut. Fixed vertices are honored throughout.
 func vCycle(h *hypergraph.Hypergraph, parts []int32, k int, rng *rand.Rand, opt Options) {
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
 	caps := capsFor(h, k, opt.Imbalance)
 
 	// Partition-respecting matching: encode current parts as additional
@@ -29,7 +31,7 @@ func vCycle(h *hypergraph.Hypergraph, parts []int32, k int, rng *rand.Rand, opt 
 	if coarsenTo < 2*k {
 		coarsenTo = 2 * k
 	}
-	levels := coarsen(hr, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, true)
+	levels := coarsen(hr, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, true, ws)
 
 	// Project the current partition down the hierarchy. Because matching
 	// never crosses parts, every coarse vertex has a well-defined part.
@@ -57,9 +59,9 @@ func vCycle(h *hypergraph.Hypergraph, parts []int32, k int, rng *rand.Rand, opt 
 		partsAt[i] = cur
 		view := levelViewWithOriginalFixed(h, levels[i].h, levels, i)
 		if opt.KwayFM {
-			refineKwayFM(view, k, cur, caps, opt.RefinePasses)
+			refineKwayFM(view, k, cur, caps, opt.RefinePasses, ws)
 		} else {
-			refineKway(view, k, cur, caps, opt.RefinePasses)
+			refineKway(view, k, cur, caps, opt.RefinePasses, ws)
 		}
 	}
 	copy(parts, partsAt[0])

@@ -9,7 +9,7 @@ package hypergraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Free marks a vertex that is not fixed to any part.
@@ -109,6 +109,29 @@ func (b *Builder) AddNetInt32(cost int64, pins []int32) int {
 	b.netStart = append(b.netStart, int32(len(b.netPins)))
 	b.costs = append(b.costs, cost)
 	return len(b.costs) - 1
+}
+
+// FromCSR constructs a finalized hypergraph directly from prebuilt CSR
+// arrays, taking ownership of every slice: netStart must hold one offset
+// per net plus the trailing total pin count, netPins the concatenated
+// dedup-free pin lists, and weights/sizes one entry per vertex. fixed may
+// be nil for an all-free hypergraph. This is the fast path for kernels
+// (contraction, sub-hypergraph induction) that already produce CSR form
+// and would otherwise re-copy every pin through a Builder. Only the
+// vertex->net CSR is derived; callers feeding untrusted data should use
+// Builder or call Validate.
+func FromCSR(netStart, netPins []int32, costs, weights, sizes []int64, fixed []int32) *Hypergraph {
+	h := &Hypergraph{
+		netStart: netStart,
+		netPins:  netPins,
+		weights:  weights,
+		sizes:    sizes,
+		costs:    costs,
+		fixed:    fixed,
+	}
+	h.buildVertexCSR(len(weights))
+	h.finalized = true
+	return h
 }
 
 // Build finalizes the hypergraph, constructing the vertex->net CSR.
@@ -360,9 +383,17 @@ func (h *Hypergraph) String() string {
 }
 
 // SortedPins returns the pins of net n as a freshly allocated sorted slice.
-// Useful for deterministic comparisons in tests and net hashing.
+// Useful for deterministic comparisons in tests and net hashing. Hot paths
+// should prefer SortedPinsInto with a reused buffer.
 func (h *Hypergraph) SortedPins(n int) []int32 {
-	p := append([]int32(nil), h.Pins(n)...)
-	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
-	return p
+	return h.SortedPinsInto(n, nil)
+}
+
+// SortedPinsInto writes the sorted pins of net n into buf (grown as
+// needed) and returns the filled slice, avoiding the per-call copy and
+// closure sort of SortedPins.
+func (h *Hypergraph) SortedPinsInto(n int, buf []int32) []int32 {
+	buf = append(buf[:0], h.Pins(n)...)
+	slices.Sort(buf)
+	return buf
 }

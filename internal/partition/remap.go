@@ -1,7 +1,7 @@
 package partition
 
 import (
-	"sort"
+	"slices"
 
 	"hyperbal/internal/hypergraph"
 )
@@ -61,14 +61,17 @@ func remapBySizes(sizes []int64, old, fresh Partition) Partition {
 			}
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].size != entries[j].size {
-			return entries[i].size > entries[j].size
+	slices.SortFunc(entries, func(a, b entry) int {
+		if a.size != b.size {
+			if a.size > b.size {
+				return -1
+			}
+			return 1
 		}
-		if entries[i].oldPart != entries[j].oldPart {
-			return entries[i].oldPart < entries[j].oldPart
+		if a.oldPart != b.oldPart {
+			return a.oldPart - b.oldPart
 		}
-		return entries[i].newPart < entries[j].newPart
+		return a.newPart - b.newPart
 	})
 
 	newToOld := make([]int32, k)
