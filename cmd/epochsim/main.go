@@ -23,6 +23,7 @@ import (
 	"hyperbal/internal/datasets"
 	"hyperbal/internal/dynamics"
 	"hyperbal/internal/graph"
+	"hyperbal/internal/obs"
 	"hyperbal/internal/partition"
 )
 
@@ -37,8 +38,17 @@ func main() {
 		method  = flag.String("method", "all", "Zoltan-repart | ParMETIS-repart | Zoltan-scratch | ParMETIS-scratch | all")
 		iters   = flag.Int("iters", 3, "actually executed iterations per epoch (traffic scales to alpha)")
 		seed    = flag.Int64("seed", 1, "random seed")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text, ?format=json) and /debug/pprof on this address")
+		metricsJSON = flag.String("metrics-json", "", `write a JSON metrics snapshot to this file on exit ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, _, err := obs.Serve(*metricsAddr, obs.Default())
+		check(err)
+		fmt.Fprintf(os.Stderr, "epochsim: metrics on http://%s/metrics\n", bound)
+	}
 
 	g, err := datasets.Generate(*dataset, *n, *seed)
 	check(err)
@@ -68,6 +78,10 @@ func main() {
 	fmt.Println("\nmeas.comm / meas.mig: words actually exchanged on the message-passing")
 	fmt.Println("substrate; 'mismatches' counts epochs where measured traffic differed")
 	fmt.Println("from the partition's connectivity-1 cut (must be 0).")
+
+	if *metricsJSON != "" {
+		check(obs.DumpJSONFile(*metricsJSON, obs.Default()))
+	}
 }
 
 func runCampaign(g *graph.Graph, m core.Method, k int, alpha int64, epochs, iters int, dynamic string, seed int64) {

@@ -22,24 +22,33 @@ import (
 	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/mpi"
 	"hyperbal/internal/mtx"
+	"hyperbal/internal/obs"
 	"hyperbal/internal/partition"
 	"hyperbal/internal/phg"
 )
 
 func main() {
 	var (
-		mtxIn  = flag.Bool("mtx", false, "input is a MatrixMarket file (column-net model)")
-		k      = flag.Int("k", 2, "number of parts")
-		eps    = flag.Float64("eps", 0.05, "allowed imbalance (Eq. 1 epsilon)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		ranks  = flag.Int("ranks", 1, "in-process ranks (>1 uses the parallel partitioner)")
+		mtxIn       = flag.Bool("mtx", false, "input is a MatrixMarket file (column-net model)")
+		k           = flag.Int("k", 2, "number of parts")
+		eps         = flag.Float64("eps", 0.05, "allowed imbalance (Eq. 1 epsilon)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		ranks       = flag.Int("ranks", 1, "in-process ranks (>1 uses the parallel partitioner)")
 		direct      = flag.Bool("direct", false, "direct k-way instead of recursive bisection")
 		out         = flag.String("o", "", "write part ids to this file")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for the serial partitioner (0 = GOMAXPROCS; results identical for every value)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text, ?format=json) and /debug/pprof on this address")
+		metricsJSON = flag.String("metrics-json", "", `write a JSON metrics snapshot to this file on exit ("-" = stdout)`)
 	)
 	flag.Parse()
+	if *metricsAddr != "" {
+		bound, _, err := obs.Serve(*metricsAddr, obs.Default())
+		check(err)
+		fmt.Fprintf(os.Stderr, "hgpart: metrics on http://%s/metrics\n", bound)
+	}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
 		check(err)
@@ -115,6 +124,10 @@ func main() {
 		check(bw.Flush())
 		check(of.Close())
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *metricsJSON != "" {
+		check(obs.DumpJSONFile(*metricsJSON, obs.Default()))
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"hyperbal/internal/harness"
+	"hyperbal/internal/obs"
 )
 
 func main() {
@@ -45,8 +46,18 @@ func main() {
 		benchLabel  = flag.String("bench-label", "current", "label for the -bench-json snapshot")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus text, ?format=json) and /debug/pprof on this address (e.g. :9090)")
+		metricsJSON   = flag.String("metrics-json", "", `write a JSON metrics snapshot to this file on exit ("-" = stdout)`)
+		metricsSchema = flag.String("metrics-schema", "", "validate the exit metrics snapshot against this schema file (CI golden check)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, _, err := obs.Serve(*metricsAddr, obs.Default())
+		check(err)
+		fmt.Fprintf(os.Stderr, "repartbench: metrics on http://%s/metrics\n", bound)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -109,6 +120,15 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metricsJSON != "" {
+		check(obs.DumpJSONFile(*metricsJSON, obs.Default()))
+	}
+	if *metricsSchema != "" {
+		schema, err := obs.ReadSchema(*metricsSchema)
+		check(err)
+		check(obs.CheckSnapshot(obs.Default().Snapshot(), schema))
 	}
 }
 

@@ -164,11 +164,14 @@ func (b *Balancer) Partition(p Problem) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	res := Result{
 		Partition:  newP,
 		CommVolume: partition.CutSize(p.H, newP),
 		RepartTime: time.Since(start),
-	}, nil
+	}
+	obsPartitions.Inc()
+	obsCommVolume.With(b.cfg.Method.String()).Add(res.CommVolume)
+	return res, nil
 }
 
 // Repartition rebalances the problem given the previous epoch's
@@ -208,13 +211,19 @@ func (b *Balancer) Repartition(p Problem, old partition.Partition, epoch int64) 
 		return Result{}, err
 	}
 	mig := ComputeMigration(p.H, old, newP)
-	return Result{
+	res := Result{
 		Partition:       newP,
 		CommVolume:      partition.CutSize(p.H, newP),
 		MigrationVolume: mig.Volume,
 		Moved:           mig.Moved,
 		RepartTime:      time.Since(start),
-	}, nil
+	}
+	method := b.cfg.Method.String()
+	obsRepartitions.With(method).Inc()
+	obsRepartNs.With(method).Observe(int64(res.RepartTime))
+	obsCommVolume.With(method).Add(res.CommVolume)
+	obsMigVolume.With(method).Add(res.MigrationVolume)
+	return res, nil
 }
 
 // hypergraphRepart is the paper's algorithm: build H̄, partition with fixed

@@ -1,0 +1,19 @@
+package core
+
+import "hyperbal/internal/obs"
+
+// Registry handles for the balancing API layer, labeled by method name
+// (Zoltan-repart, Zoltan-scratch, ...) so a run can be broken down the way
+// Figures 7-8 present it: repartition wall time per method, and the comm /
+// migration volumes that form the normalized-cost bars.
+var (
+	obsPartitions    = obs.Default().Counter("core_partitions_total")
+	obsRepartitions  = obs.Default().CounterVec("core_repartitions_total", "method")
+	obsRepartNs      = obs.Default().HistogramVec("core_repart_ns", "method", obs.DurationBounds)
+	obsCommVolume    = obs.Default().CounterVec("core_comm_volume_total", "method")
+	obsMigVolume     = obs.Default().CounterVec("core_migration_volume_total", "method")
+	obsSessionEpochs = obs.Default().Counter("core_session_epochs_total")
+	obsRebalanceYes  = obs.Default().Counter("core_rebalance_decisions_true_total")
+	obsRebalanceNo   = obs.Default().Counter("core_rebalance_decisions_false_total")
+	obsSessionCost   = obs.Default().Counter("core_session_cost_total")
+)

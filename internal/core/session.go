@@ -53,10 +53,17 @@ func (s *Session) Epoch() int64 { return s.epoch }
 // an inherited partition.
 func (s *Session) ShouldRebalance(p Problem) (bool, error) {
 	if p.H.NumVertices() != len(s.cur.Parts) {
+		obsRebalanceYes.Inc()
 		return true, nil // structure changed: rebalance unconditionally
 	}
 	w := partition.Weights(p.H, s.cur)
-	return partition.Imbalance(w) > s.Threshold, nil
+	should := partition.Imbalance(w) > s.Threshold
+	if should {
+		obsRebalanceYes.Inc()
+	} else {
+		obsRebalanceNo.Inc()
+	}
+	return should, nil
 }
 
 // Rebalance repartitions the problem against the session's current
@@ -89,6 +96,8 @@ func (s *Session) rebalance(p Problem, old partition.Partition) (Result, error) 
 	}
 	s.cur = res.Partition.Clone()
 	s.History = append(s.History, res)
+	obsSessionEpochs.Inc()
+	obsSessionCost.Add(res.TotalCost(s.bal.Config().Alpha))
 	return res, nil
 }
 

@@ -1,0 +1,7 @@
+package datasets
+
+import "hyperbal/internal/obs"
+
+// obsGenerated counts synthetic dataset generations by registry name, so a
+// metrics dump shows which analogues a run actually touched.
+var obsGenerated = obs.Default().CounterVec("datasets_generated_total", "name")

@@ -213,6 +213,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for _, t := range tasks {
 		if t.err != nil {
+			obsCellErrs.Inc()
 			return nil, fmt.Errorf("harness: %s procs=%d alpha=%d %v: %w",
 				cfg.Dataset, t.procs, t.alpha, t.method, t.err)
 		}
@@ -267,6 +268,8 @@ func runSequence(cfg Config, g *graph.Graph, procs int, alpha int64, m core.Meth
 	if err != nil {
 		return err
 	}
+	obsCells.Inc()
+	method := m.String()
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
 		eprob, old := gen.Next()
 		res, err := bal.Repartition(eprob, old, int64(epoch))
@@ -282,6 +285,10 @@ func runSequence(cfg Config, g *graph.Graph, procs int, alpha int64, m core.Meth
 		cell.Imbalance += partition.Imbalance(w)
 		cell.RepartTime += res.RepartTime
 		cell.Epochs++
+		obsEpochs.With(method).Inc()
+		obsRepartNs.With(method).Observe(int64(res.RepartTime))
+		obsCommVol.With(method).Add(res.CommVolume)
+		obsMigVol.With(method).Add(res.MigrationVolume)
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"hyperbal/internal/core"
+	"hyperbal/internal/obs"
+)
+
+// TestMetricsSchemas is the in-process version of the CI golden check: a
+// small Figure-7 cell must populate every serial-pipeline metric named in
+// fig7_schema.json, and a parallel runtime cell every SPMD/mpi metric in
+// parallel_schema.json. The registry is zeroed first so the assertions are
+// about these runs, not leftovers from other tests.
+func TestMetricsSchemas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full harness cell")
+	}
+	obs.Default().Reset()
+
+	cfg := Config{
+		Dataset: "xyce680s", Dynamic: "structure",
+		Procs: []int{4}, Alphas: []int64{100},
+		Trials: 1, Epochs: 2, ScaleV: 400, Seed: 1, Parallelism: 1,
+		Methods: []core.Method{core.HypergraphRepart},
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := obs.ReadSchema("../obs/testdata/fig7_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckSnapshot(obs.Default().Snapshot(), schema); err != nil {
+		t.Errorf("figure-7 cell: %v", err)
+	}
+
+	if _, err := ParallelRuntime("xyce680s", 400, []int{4}, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	schema, err = obs.ReadSchema("../obs/testdata/parallel_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckSnapshot(obs.Default().Snapshot(), schema); err != nil {
+		t.Errorf("parallel cell: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package hgp
 
 import (
 	"math/rand"
+	"time"
 
 	"hyperbal/internal/hypergraph"
 )
@@ -42,6 +43,7 @@ func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, 
 	}
 	outs := make([]startOut, opt.InitialStarts)
 	baseSeed := rng.Int63()
+	solveStart := time.Now()
 	px.forEach(opt.InitialStarts, ws, func(s int, sws *workspace) {
 		srng := rand.New(rand.NewSource(startSeed(baseSeed, s)))
 		parts := ghg2(coarsest, srng, cFixed, ct0, cc0, cc1, opt.MaxNetSize, sws)
@@ -58,6 +60,7 @@ func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, 
 		}
 		outs[s] = startOut{parts: parts, cut: cut, dev: dev}
 	})
+	obsCoarseSolveNs.ObserveSince(solveStart)
 	best := 0
 	for s := 1; s < len(outs); s++ {
 		if outs[s].cut < outs[best].cut ||
@@ -69,12 +72,14 @@ func bisect(h *hypergraph.Hypergraph, rng *rand.Rand, fixedSide []int32, frac0, 
 
 	// Uncoarsen: project and refine at each finer level.
 	for i := len(levels) - 2; i >= 0; i-- {
+		refineStart := time.Now()
 		parts = project(levels[i].cmap, parts)
 		lf := fixedLabels(levels[i].h)
 		lt := levels[i].h.TotalWeight()
 		lc0 := int64(float64(lt) * frac0 * (1 + eps))
 		lc1 := int64(float64(lt) * (1 - frac0) * (1 + eps))
 		fm2(levels[i].h, parts, lf, lc0, lc1, opt.RefinePasses, opt.MaxNetSize, ws)
+		obsRefineNs.At(i).ObserveSince(refineStart)
 	}
 	return parts
 }

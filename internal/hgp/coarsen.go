@@ -2,6 +2,7 @@ package hgp
 
 import (
 	"math/rand"
+	"time"
 
 	"hyperbal/internal/hypergraph"
 )
@@ -21,12 +22,19 @@ func coarsen(h *hypergraph.Hypergraph, rng *rand.Rand, coarsenTo int, minShrink 
 	levels := []level{{h: h}}
 	cur := h
 	for cur.NumVertices() > coarsenTo {
+		start := time.Now()
 		match := ipmMatch(cur, rng, maxNetSize, filterFixed, ws)
 		coarse, cmap := contractWS(cur, match, ws)
 		shrink := 1 - float64(coarse.NumVertices())/float64(cur.NumVertices())
+		lvl := len(levels) - 1
+		obsCoarsenNs.At(lvl).ObserveSince(start)
+		obsLevelVertices.At(lvl).Observe(int64(coarse.NumVertices()))
+		obsLevelNets.At(lvl).Observe(int64(coarse.NumNets()))
+		obsLevelShrink.At(lvl).Observe(int64(shrink * 1000))
 		if shrink < minShrink {
 			break // unsuccessful coarsening; stop early
 		}
+		obsLevels.Inc()
 		levels[len(levels)-1].cmap = cmap
 		levels = append(levels, level{h: coarse})
 		cur = coarse

@@ -91,6 +91,8 @@ func fm2(h *hypergraph.Hypergraph, parts []int32, fixedSide []int32, cap0, cap1 
 		for i := len(moved) - 1; i >= bestPrefix; i-- {
 			s.Move(int(moved[i]))
 		}
+		obsFM2Passes.Inc()
+		obsFM2Moves.Add(int64(bestPrefix))
 		if bestPrefixCut >= passStartCut {
 			break // no improvement this pass
 		}

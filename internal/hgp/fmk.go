@@ -116,6 +116,8 @@ func refineKwayFM(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, 
 		for i := len(moves) - 1; i >= bestPrefix; i-- {
 			s.Move(int(moves[i].v), moves[i].from)
 		}
+		obsKwayPasses.Inc()
+		obsKwayMoves.Add(int64(bestPrefix))
 		if best <= 0 {
 			break
 		}

@@ -3,6 +3,7 @@ package hgp
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/partition"
@@ -31,6 +32,7 @@ func Partition(h *hypergraph.Hypergraph, opt Options) (partition.Partition, erro
 	ws := px.getWS()
 	defer px.putWS(ws)
 
+	obsPartitions.Inc()
 	if opt.DirectKway {
 		directKway(h, rng, opt, p.Parts, px, ws)
 	} else {
@@ -42,11 +44,15 @@ func Partition(h *hypergraph.Hypergraph, opt Options) (partition.Partition, erro
 		recursiveBisect(h, vs, 0, opt.K, p.Parts, rng, eps, opt.TargetFractions, opt, px, ws)
 		// Final k-way polish pass to recover from per-bisection myopia.
 		caps := capsForTargets(h, opt.K, opt.Imbalance, opt.TargetFractions)
+		polishStart := time.Now()
+		var cut int64
 		if opt.KwayFM {
-			refineKwayFM(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
+			cut = refineKwayFM(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
 		} else {
-			refineKway(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
+			cut = refineKway(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
 		}
+		obsPolishNs.ObserveSince(polishStart)
+		obsFinalCut.Set(cut)
 	}
 	return p, nil
 }
@@ -74,6 +80,7 @@ func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int
 	}
 	outs := make([]startOut, opt.InitialStarts)
 	baseSeed := rng.Int63()
+	solveStart := time.Now()
 	px.forEach(opt.InitialStarts, ws, func(s int, sws *workspace) {
 		srng := rand.New(rand.NewSource(startSeed(baseSeed, s)))
 		parts := randomBalanced(coarsest, opt.K, opt.TargetFractions, srng)
@@ -90,6 +97,7 @@ func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int
 		}
 		outs[s] = startOut{parts: parts, cut: cut, over: over}
 	})
+	obsCoarseSolveNs.ObserveSince(solveStart)
 	best := 0
 	for s := 1; s < len(outs); s++ {
 		if outs[s].cut < outs[best].cut ||
@@ -98,10 +106,16 @@ func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int
 		}
 	}
 	parts := outs[best].parts
+	var cut int64 = -1
 	for i := len(levels) - 2; i >= 0; i-- {
+		refineStart := time.Now()
 		parts = project(levels[i].cmap, parts)
 		caps := capsForTargets(levels[i].h, opt.K, opt.Imbalance, opt.TargetFractions)
-		refineKway(levels[i].h, opt.K, parts, caps, opt.RefinePasses, ws)
+		cut = refineKway(levels[i].h, opt.K, parts, caps, opt.RefinePasses, ws)
+		obsRefineNs.At(i).ObserveSince(refineStart)
+	}
+	if cut >= 0 {
+		obsFinalCut.Set(cut)
 	}
 	copy(out, parts)
 }

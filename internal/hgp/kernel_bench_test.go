@@ -57,7 +57,7 @@ func BenchmarkFM2Pass(b *testing.B) {
 	n := h.NumVertices()
 	rng := rand.New(rand.NewSource(2))
 	base := make([]int32, n)
-	for _, v := range rng.Perm(n)[: n/2] {
+	for _, v := range rng.Perm(n)[:n/2] {
 		base[v] = 1
 	}
 	fixed := make([]int32, n)

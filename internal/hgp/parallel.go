@@ -23,7 +23,7 @@ func newParctx(parallelism int) *parctx {
 	return px
 }
 
-func (px *parctx) getWS() *workspace  { return wsPool.Get().(*workspace) }
+func (px *parctx) getWS() *workspace   { return wsPool.Get().(*workspace) }
 func (px *parctx) putWS(ws *workspace) { wsPool.Put(ws) }
 
 // fork runs fn, in a fresh goroutine when a worker token is free and

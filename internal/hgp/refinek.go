@@ -136,7 +136,7 @@ func refineKway(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, pa
 	buf := ws.kbuf[:0]
 	mark := ws.kmark
 	for pass := 0; pass < passes; pass++ {
-		improved := false
+		moves := 0
 		for v := 0; v < h.NumVertices(); v++ {
 			if h.Fixed(v) != hypergraph.Free {
 				continue
@@ -168,13 +168,15 @@ func refineKway(h *hypergraph.Hypergraph, k int, parts []int32, caps []int64, pa
 			}
 			if bestTo >= 0 && bestGain > 0 {
 				s.Move(v, bestTo)
-				improved = true
+				moves++
 			} else if bestTo >= 0 && s.w[from] > caps[from] {
 				s.Move(v, bestTo)
-				improved = true
+				moves++
 			}
 		}
-		if !improved {
+		obsKwayPasses.Inc()
+		obsKwayMoves.Add(int64(moves))
+		if moves == 0 {
 			break
 		}
 	}
@@ -194,7 +196,7 @@ func RefineKwayPass(s *KwayState, caps []int64) bool {
 	h, k := s.h, s.k
 	buf := make([]int32, 0, k)
 	mark := make([]bool, k)
-	improved := false
+	moves := 0
 	for v := 0; v < h.NumVertices(); v++ {
 		if h.Fixed(v) != hypergraph.Free {
 			continue
@@ -213,8 +215,10 @@ func RefineKwayPass(s *KwayState, caps []int64) bool {
 		}
 		if bestTo >= 0 && bestGain > 0 {
 			s.Move(v, bestTo)
-			improved = true
+			moves++
 		}
 	}
-	return improved
+	obsKwayPasses.Inc()
+	obsKwayMoves.Add(int64(moves))
+	return moves > 0
 }

@@ -3,6 +3,7 @@ package migrate
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/mpi"
@@ -138,6 +139,91 @@ func TestExecuteWrongWorldSize(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExecuteDeferredErrorSymmetry pins the error-handling contract of
+// Execute: a rank that cannot produce a scheduled payload reports the
+// error but still enters the Alltoall with its remaining payloads, so
+// healthy peers neither deadlock nor lose the deliverable vertices. Run
+// under a watchdog so a symmetry break fails fast as a DeadlockError.
+func TestExecuteDeferredErrorSymmetry(t *testing.T) {
+	h := sampleHG(6)
+	old := partition.Partition{K: 2, Parts: []int32{0, 0, 0, 1, 1, 1}}
+	new := partition.Partition{K: 2, Parts: []int32{1, 1, 0, 1, 0, 1}}
+	// Schedule: rank 0 sends vertices 0 and 1; rank 1 sends vertex 4.
+	plan, err := NewPlan(h, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := BuildStores(h, old)
+	delete(stores[0], 0) // rank 0 cannot produce vertex 0
+	var mu sync.Mutex
+	received := make([]int, 2)
+	execErrs := make([]error, 2)
+	_, err = mpi.RunWith(2, mpi.Options{Watchdog: 30 * time.Second}, func(c *mpi.Comm) error {
+		n, execErr := Execute(c, plan, stores[c.Rank()])
+		mu.Lock()
+		received[c.Rank()] = n
+		execErrs[c.Rank()] = execErr
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execErrs[0] == nil {
+		t.Error("rank 0: want missing-vertex error, got nil")
+	}
+	if execErrs[1] != nil {
+		t.Errorf("rank 1: unexpected error %v", execErrs[1])
+	}
+	// Vertex 1 still made it across despite rank 0's error; vertex 4 came
+	// back the other way.
+	if received[1] != 1 {
+		t.Errorf("rank 1 received %d vertices, want 1 (vertex 1)", received[1])
+	}
+	if received[0] != 1 {
+		t.Errorf("rank 0 received %d vertices, want 1 (vertex 4)", received[0])
+	}
+	if _, ok := stores[1][1]; !ok {
+		t.Error("vertex 1 payload missing from rank 1's store")
+	}
+	if _, ok := stores[0][4]; !ok {
+		t.Error("vertex 4 payload missing from rank 0's store")
+	}
+}
+
+// TestExecuteDuplicateReceive drives the other deferred-error branch: a
+// destination that already holds an incoming vertex keeps its copy,
+// reports the duplicate, and the exchange still completes on both ranks.
+func TestExecuteDuplicateReceive(t *testing.T) {
+	h := sampleHG(4)
+	old := partition.Partition{K: 2, Parts: []int32{0, 0, 1, 1}}
+	new := partition.Partition{K: 2, Parts: []int32{1, 0, 1, 1}}
+	plan, err := NewPlan(h, old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := BuildStores(h, old)
+	stores[1][0] = []byte{0xEE} // rank 1 somehow already holds vertex 0
+	var mu sync.Mutex
+	execErrs := make([]error, 2)
+	_, err = mpi.RunWith(2, mpi.Options{Watchdog: 30 * time.Second}, func(c *mpi.Comm) error {
+		_, execErr := Execute(c, plan, stores[c.Rank()])
+		mu.Lock()
+		execErrs[c.Rank()] = execErr
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execErrs[1] == nil {
+		t.Error("rank 1: want duplicate-vertex error, got nil")
+	}
+	if got := stores[1][0]; len(got) != 1 || got[0] != 0xEE {
+		t.Errorf("rank 1's pre-existing payload overwritten: %v", got)
 	}
 }
 

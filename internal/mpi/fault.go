@@ -169,11 +169,11 @@ type world struct {
 	progress  atomic.Int64
 
 	states   []rankState
-	colDepth []int32       // per-world-rank collective nesting (own goroutine only)
-	steps    []int         // per-world-rank substrate op count (own goroutine only)
-	frand    []*rand.Rand  // per-world-rank fault rng (own goroutine only)
-	delayOn  []bool        // per-world-rank delay injection switch
-	flushers [][]func()    // per-world-rank held-message flushers (own goroutine only)
+	colDepth []int32      // per-world-rank collective nesting (own goroutine only)
+	steps    []int        // per-world-rank substrate op count (own goroutine only)
+	frand    []*rand.Rand // per-world-rank fault rng (own goroutine only)
+	delayOn  []bool       // per-world-rank delay injection switch
+	flushers [][]func()   // per-world-rank held-message flushers (own goroutine only)
 }
 
 func newWorld(n int, opt Options) *world {
@@ -366,6 +366,7 @@ func (c *Comm) collective(name string) func() {
 		return func() { w.colDepth[wr]-- }
 	}
 	w.stats.Collectives.Add(1)
+	obsCollectiveOps.With(name).Inc()
 	if w.opt.OnEvent == nil {
 		return func() { w.colDepth[wr]-- }
 	}

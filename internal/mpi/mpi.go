@@ -159,12 +159,17 @@ func RunWith(n int, opt Options, fn func(c *Comm) error) (*Stats, error) {
 	wg.Wait()
 	close(w.stopc)
 	var first error
+	var crashes int64
 	for _, err := range errs {
-		if err != nil && !errors.Is(err, errAborted) {
+		var ce *CrashError
+		if errors.As(err, &ce) {
+			crashes++
+		}
+		if err != nil && first == nil && !errors.Is(err, errAborted) {
 			first = err
-			break
 		}
 	}
+	bridgeStats(w.stats, w.deadlock.Load() != nil, crashes)
 	if dl := w.deadlock.Load(); dl != nil {
 		if first == nil {
 			return w.stats, dl

@@ -1,0 +1,52 @@
+package pgp
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperbal/internal/gp"
+)
+
+// TestOptionsPreserveSerial guards pgp against the field-by-field Serial
+// rebuild bug fixed in phg: withDefaults must pass Options.Serial through
+// verbatim. Every exported gp.Options field is set non-zero via reflection
+// so new fields are covered automatically.
+func TestOptionsPreserveSerial(t *testing.T) {
+	var in gp.Options
+	rv := reflect.ValueOf(&in).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(int64(i + 3))
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(float64(i) + 0.25)
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.String:
+			f.SetString("x")
+		case reflect.Slice:
+			f.Set(reflect.MakeSlice(f.Type(), 2, 2))
+		default:
+			t.Fatalf("gp.Options.%s has kind %s: teach TestOptionsPreserveSerial how to set it",
+				rt.Field(i).Name, f.Kind())
+		}
+		if f.IsZero() {
+			t.Fatalf("gp.Options.%s still zero after fixture setup", rt.Field(i).Name)
+		}
+	}
+
+	out := Options{Serial: in}.withDefaults().Serial
+	rvOut := reflect.ValueOf(out)
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if rvOut.Field(i).IsZero() {
+			t.Errorf("withDefaults zeroed Serial.%s", name)
+		}
+		if !reflect.DeepEqual(rv.Field(i).Interface(), rvOut.Field(i).Interface()) {
+			t.Errorf("withDefaults changed Serial.%s: %v -> %v",
+				name, rv.Field(i).Interface(), rvOut.Field(i).Interface())
+		}
+	}
+}

@@ -14,6 +14,7 @@ package pgp
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hyperbal/internal/gp"
 	"hyperbal/internal/graph"
@@ -94,11 +95,20 @@ func run(c *mpi.Comm, g *graph.Graph, oldPart []int32, itr int64, opt Options) (
 		cmap    []int32
 		oldPart []int32
 	}
+	if c.Rank() == 0 {
+		if oldPart != nil {
+			obsAdaptive.Inc()
+		} else {
+			obsPartitions.Inc()
+		}
+	}
 	levels := []level{{g: g, oldPart: oldPart}}
 	cur, curOld := g, oldPart
 	for cur.NumVertices() > coarsenTo {
+		start := time.Now()
 		match := parallelHEM(c, cur, curOld, rng, opt)
 		coarse, cmap, coarseOld := gp.Contract(cur, match, curOld)
+		obsCoarsenNs.At(len(levels) - 1).ObserveSince(start)
 		if 1-float64(coarse.NumVertices())/float64(cur.NumVertices()) < minShrink {
 			break
 		}
@@ -116,6 +126,7 @@ func run(c *mpi.Comm, g *graph.Graph, oldPart []int32, itr int64, opt Options) (
 		parts = append([]int32(nil), coarsest.oldPart...)
 	} else {
 		// Scratch: replicated multi-start via per-rank serial solves.
+		solveStart := time.Now()
 		so := serial
 		so.Seed = serial.Seed*6361 + int64(c.Rank()+1)
 		cp, err := gp.Partition(coarsest.g, so)
@@ -125,6 +136,7 @@ func run(c *mpi.Comm, g *graph.Graph, oldPart []int32, itr int64, opt Options) (
 		myCut := partition.EdgeCut(coarsest.g, cp)
 		winner := mpi.AllreduceMinLoc(c, myCut)
 		parts = mpi.BcastSlice(c, winner.Rank, cp.Parts)
+		obsCoarseSolveNs.ObserveSince(solveStart)
 	}
 
 	eps := serial.Imbalance
@@ -133,10 +145,12 @@ func run(c *mpi.Comm, g *graph.Graph, oldPart []int32, itr int64, opt Options) (
 	}
 	caps := capsFor(g, k, eps)
 	for i := len(levels) - 1; i >= 0; i-- {
+		refineStart := time.Now()
 		if i < len(levels)-1 {
 			parts = gp.Project(levels[i].cmap, parts)
 		}
 		parallelRefine(c, levels[i].g, k, parts, levels[i].oldPart, itr, caps, opt)
+		obsRefineNs.At(i).ObserveSince(refineStart)
 	}
 	copy(p.Parts, parts)
 	return p, nil

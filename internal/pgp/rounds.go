@@ -43,14 +43,23 @@ func parallelHEM(c *mpi.Comm, g *graph.Graph, samePart []int32, rng *rand.Rand, 
 				}
 			}
 		}
+		obsCandidates.Add(int64(len(local)))
 		cands, _ := mpi.AllgatherSlice(c, local)
 		if len(cands) == 0 {
 			break
 		}
+		if c.Rank() == 0 {
+			obsHEMRounds.Inc()
+		}
 		bids := make([]matchBid, len(cands))
+		feasible := 0
 		for i, cand := range cands {
 			bids[i] = bestLocalBid(g, match, samePart, int(cand), lo, hi)
+			if bids[i].Match >= 0 {
+				feasible++
+			}
 		}
+		obsBids.Add(int64(feasible))
 		best := mpi.AllreduceSlice(c, bids, func(a, b matchBid) matchBid {
 			if b.Score > a.Score || (b.Score == a.Score && b.Score > 0 && b.Match < a.Match) {
 				return b
@@ -184,9 +193,13 @@ func parallelRefine(c *mpi.Comm, g *graph.Graph, k int, parts []int32, oldPart [
 				proposals = append(proposals, moveProposal{V: int32(v), To: bestTo, Gain: bestGain})
 			}
 		}
+		obsProposals.Add(int64(len(proposals)))
 		all, _ := mpi.AllgatherSlice(c, proposals)
 		if len(all) == 0 {
 			break
+		}
+		if c.Rank() == 0 {
+			obsRefineRounds.Inc()
 		}
 		applied := 0
 		for _, m := range all {
@@ -203,6 +216,10 @@ func parallelRefine(c *mpi.Comm, g *graph.Graph, k int, parts []int32, oldPart [
 			w[m.To] += g.Weight(v)
 			parts[v] = m.To
 			applied++
+		}
+		if c.Rank() == 0 {
+			obsMovesApplied.Add(int64(applied))
+			obsMovesRejected.Add(int64(len(all) - applied))
 		}
 		if applied == 0 {
 			break

@@ -61,9 +61,13 @@ func parallelIPM(c *mpi.Comm, h *hypergraph.Hypergraph, rng *rand.Rand, opt Opti
 				}
 			}
 		}
+		obsCandidates.Add(int64(len(local)))
 		cands, _ := mpi.AllgatherSlice(c, local)
 		if len(cands) == 0 {
 			break
+		}
+		if c.Rank() == 0 {
+			obsIPMRounds.Inc()
 		}
 
 		// 2. Compute this rank's best bid for each candidate, restricted to
@@ -71,9 +75,14 @@ func parallelIPM(c *mpi.Comm, h *hypergraph.Hypergraph, rng *rand.Rand, opt Opti
 		// compatibility filter. (All scores are computed; infeasible pairs
 		// are filtered at selection, as in Zoltan.)
 		bids := make([]matchBid, len(cands))
+		feasible := 0
 		for i, cand := range cands {
 			bids[i] = bestLocalBid(h, match, int(cand), lo, hi, maxNetSize, score, &touched)
+			if bids[i].Match >= 0 {
+				feasible++
+			}
 		}
+		obsBids.Add(int64(feasible))
 
 		// 3. Global best bid per candidate.
 		best := mpi.AllreduceSlice(c, bids, func(a, b matchBid) matchBid {
@@ -96,6 +105,9 @@ func parallelIPM(c *mpi.Comm, h *hypergraph.Hypergraph, rng *rand.Rand, opt Opti
 			}
 			match[cand] = b.Match
 			match[b.Match] = cand
+			if c.Rank() == 0 {
+				obsGlobalMatches.Inc()
+			}
 		}
 	}
 	// Self-match leftovers.
@@ -212,6 +224,7 @@ func localIPM(c *mpi.Comm, h *hypergraph.Hypergraph, match []int32, lo, hi int, 
 			match[u] = int32(best)
 			match[best] = int32(u)
 			local = append(local, pair{int32(u), int32(best)})
+			obsLocalMatches.Inc()
 		}
 	}
 	// Exchange decisions; blocks are disjoint, so no conflicts.

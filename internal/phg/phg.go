@@ -35,6 +35,7 @@ package phg
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hyperbal/internal/hgp"
 	"hyperbal/internal/hypergraph"
@@ -67,16 +68,11 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	o.Serial = hgp.Options{
-		K:             o.Serial.K,
-		Imbalance:     o.Serial.Imbalance,
-		Seed:          o.Serial.Seed,
-		CoarsenTo:     o.Serial.CoarsenTo,
-		MinShrink:     o.Serial.MinShrink,
-		InitialStarts: o.Serial.InitialStarts,
-		RefinePasses:  o.Serial.RefinePasses,
-		MaxNetSize:    o.Serial.MaxNetSize,
-	}
+	// o.Serial is passed through verbatim: the coarse solve owns its
+	// defaults (hgp.Options.withDefaults), and rebuilding the struct here
+	// field-by-field silently dropped every knob this list forgot
+	// (DirectKway, KwayFM, TargetFractions, DisableMatchFilter,
+	// Parallelism). See TestOptionsPreserveSerial.
 	if o.MatchRounds <= 0 {
 		o.MatchRounds = 10
 	}
@@ -139,11 +135,16 @@ func Partition(c *mpi.Comm, h *hypergraph.Hypergraph, opt Options) (partition.Pa
 		h    *hypergraph.Hypergraph
 		cmap []int32
 	}
+	if c.Rank() == 0 {
+		obsPartitions.Inc()
+	}
 	levels := []level{{h: h}}
 	cur := h
 	for cur.NumVertices() > coarsenTo {
+		start := time.Now()
 		match := parallelIPM(c, cur, rng, opt)
 		coarse, cmap := hgp.Contract(cur, match)
+		obsCoarsenNs.At(len(levels) - 1).ObserveSince(start)
 		if 1-float64(coarse.NumVertices())/float64(cur.NumVertices()) < minShrink {
 			break
 		}
@@ -156,6 +157,15 @@ func Partition(c *mpi.Comm, h *hypergraph.Hypergraph, opt Options) (partition.Pa
 	coarsest := levels[len(levels)-1].h
 	serialOpt := opt.Serial
 	serialOpt.Seed = opt.Serial.Seed*7907 + int64(c.Rank()+1)
+	if serialOpt.Parallelism <= 0 {
+		// Every SPMD rank runs a coarse solve concurrently; letting each
+		// default to GOMAXPROCS workers oversubscribes the machine by a
+		// factor of c.Size(). Solve serially per rank unless the caller
+		// explicitly asked for intra-rank parallelism.
+		serialOpt.Parallelism = 1
+		obsOversubGuarded.Inc()
+	}
+	solveStart := time.Now()
 	cp, err := hgp.Partition(coarsest, serialOpt)
 	if err != nil {
 		return partition.Partition{}, err
@@ -163,14 +173,17 @@ func Partition(c *mpi.Comm, h *hypergraph.Hypergraph, opt Options) (partition.Pa
 	myCut := partition.CutSize(coarsest, cp)
 	winner := mpi.AllreduceMinLoc(c, myCut)
 	parts := mpi.BcastSlice(c, winner.Rank, cp.Parts)
+	obsCoarseSolveNs.ObserveSince(solveStart)
 
 	// ---- Uncoarsening with parallel refinement ----
 	caps := capsFor(h, k, opt.Serial.Imbalance)
 	for i := len(levels) - 1; i >= 0; i-- {
+		refineStart := time.Now()
 		if i < len(levels)-1 {
 			parts = projectParts(levels[i].cmap, parts)
 		}
 		parallelRefine(c, levels[i].h, k, parts, caps, opt)
+		obsRefineNs.At(i).ObserveSince(refineStart)
 	}
 	copy(p.Parts, parts)
 	return p, nil

@@ -50,10 +50,15 @@ func parallelRefine(c *mpi.Comm, h *hypergraph.Hypergraph, k int, parts []int32,
 			}
 		}
 
+		obsProposals.Add(int64(len(proposals)))
+
 		// 2. Exchange proposals (rank order — deterministic).
 		all, _ := mpi.AllgatherSlice(c, proposals)
 		if len(all) == 0 {
 			break
+		}
+		if c.Rank() == 0 {
+			obsRefineRounds.Inc()
 		}
 
 		// 3. Apply: recompute each gain against the evolving state (earlier
@@ -72,6 +77,11 @@ func parallelRefine(c *mpi.Comm, h *hypergraph.Hypergraph, k int, parts []int32,
 			}
 			state.Move(v, m.To)
 			applied++
+		}
+		// Every rank runs the identical apply loop; count outcomes once.
+		if c.Rank() == 0 {
+			obsMovesApplied.Add(int64(applied))
+			obsMovesRejected.Add(int64(len(all) - applied))
 		}
 		if applied == 0 {
 			break
