@@ -1,0 +1,361 @@
+package hyperbal
+
+// The balancerd client: a thin, retrying HTTP client for the serving tier
+// (cmd/balancerd, internal/server). It lives in the public façade so
+// applications consume the service without importing internal packages:
+//
+//	c := hyperbal.NewClient("http://localhost:8080", hyperbal.ClientOptions{})
+//	sess, first, _ := c.CreateSession(ctx, hyperbal.BalancerConfig{K: 8, Alpha: 100}, h)
+//	// ... application epoch drifts the hypergraph to h2 ...
+//	next, _ := sess.SubmitEpoch(ctx, h2)
+//
+// Retry semantics: transport errors, 429 (queue full) and 503 (draining /
+// unavailable) are retried with exponential backoff — the server rejects
+// those before touching session state, so the retry is safe. A retried
+// epoch submission that actually landed (response lost in transit) is
+// reconciled through the server's epoch-conflict check: the client tags
+// every submission with its expected epoch number, and on 409 fetches the
+// session to recover the already-applied result instead of re-submitting.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hyperbal/internal/obs"
+	"hyperbal/internal/server"
+)
+
+// Client-side metrics, reported through the same obs registry as the rest
+// of the pipeline (loadgen's latency report reads them).
+var (
+	obsClientRequests = obs.Default().CounterVec("client_requests_total", "op")
+	obsClientRetries  = obs.Default().Counter("client_retries_total")
+	obsClientErrors   = obs.Default().Counter("client_errors_total")
+)
+
+// ClientOptions tune the balancerd client's timeout/retry/backoff policy.
+// The zero value gives sane defaults.
+type ClientOptions struct {
+	// RequestTimeout bounds each attempt (default 120s — an epoch
+	// submission includes queueing and partitioning time).
+	RequestTimeout time.Duration
+	// MaxRetries bounds retries after the first attempt (default 5).
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per retry (default 50ms).
+	Backoff time.Duration
+	// MaxBackoff caps the delay growth (default 2s).
+	MaxBackoff time.Duration
+	// HTTPClient overrides the transport (default: a dedicated
+	// http.Client; its Timeout is left to RequestTimeout contexts).
+	HTTPClient *http.Client
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 120 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 5
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	return o
+}
+
+// Client talks to a balancerd instance.
+type Client struct {
+	base string
+	opt  ClientOptions
+}
+
+// NewClient returns a client for the balancerd at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func NewClient(baseURL string, opt ClientOptions) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), opt: opt.withDefaults()}
+}
+
+// RemoteResult is one load-balance operation performed by the server.
+type RemoteResult struct {
+	Partition       Partition
+	CommVolume      int64
+	MigrationVolume int64
+	Moved           int
+	Epoch           int64
+	RepartMs        float64
+	// Cached reports the server answered from its repartition cache.
+	Cached bool
+	// Rebalanced is false when an only-if-unbalanced submission was
+	// skipped because the drift was within threshold.
+	Rebalanced bool
+}
+
+func remoteResult(r server.WireResult) RemoteResult {
+	return RemoteResult{
+		Partition:       Partition{Parts: r.Parts, K: r.K},
+		CommVolume:      r.CommVolume,
+		MigrationVolume: r.MigrationVolume,
+		Moved:           r.Moved,
+		Epoch:           r.Epoch,
+		RepartMs:        r.RepartMs,
+		Cached:          r.Cached,
+		Rebalanced:      r.Rebalanced,
+	}
+}
+
+// RemoteMigration is the wire summary of the latest epoch's migration plan.
+type RemoteMigration = server.MigrationSummary
+
+// APIError is a non-2xx answer from the server after retries.
+type APIError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("balancerd: HTTP %d (%s): %s", e.Status, e.Code, e.Msg)
+}
+
+// retryable reports whether a status is safe and useful to retry: the
+// server rejects 429/503 before touching state, and 502/504 come from
+// intermediaries.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do performs one API call with the retry/backoff policy. A nil out skips
+// decoding. Returns the final status code.
+func (c *Client) do(ctx context.Context, op, method, path string, in, out any) (int, error) {
+	obsClientRequests.With(op).Inc()
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return 0, err
+		}
+	}
+	backoff := c.opt.Backoff
+	for attempt := 0; ; attempt++ {
+		status, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return status, nil
+		}
+		if nr, ok := err.(errNonRetryable); ok {
+			obsClientErrors.Inc()
+			return status, nr
+		}
+		// Transport error or retryable API status.
+		if attempt >= c.opt.MaxRetries {
+			obsClientErrors.Inc()
+			return status, err
+		}
+		obsClientRetries.Inc()
+		select {
+		case <-ctx.Done():
+			obsClientErrors.Inc()
+			return status, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > c.opt.MaxBackoff {
+			backoff = c.opt.MaxBackoff
+		}
+	}
+}
+
+// attempt performs one HTTP round trip. Retryable failures come back as a
+// non-nil error; non-retryable API errors are decoded into *APIError and
+// returned with err == nil so do() stops retrying.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opt.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.opt.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err // transport error: retry
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		_ = json.Unmarshal(data, &apiErr)
+		if apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(data))
+		}
+		e := &APIError{Status: resp.StatusCode, Code: apiErr.Code, Msg: apiErr.Error}
+		if retryable(resp.StatusCode) {
+			return resp.StatusCode, e // plain error: do() retries
+		}
+		return resp.StatusCode, errNonRetryable{e}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("balancerd: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// errNonRetryable wraps an APIError that must not be retried.
+type errNonRetryable struct{ err error }
+
+func (e errNonRetryable) Error() string { return e.err.Error() }
+func (e errNonRetryable) Unwrap() error { return e.err }
+
+// unwrapFinal strips the non-retryable marker for callers.
+func unwrapFinal(err error) error {
+	if nr, ok := err.(errNonRetryable); ok {
+		return nr.err
+	}
+	return err
+}
+
+// RemoteSession is a session held by a balancerd instance. It is not safe
+// for concurrent use: epoch submissions are ordered (the server enforces
+// this with per-session serialization and the epoch-conflict check), so
+// drive one RemoteSession from one goroutine.
+type RemoteSession struct {
+	c  *Client
+	ID string
+	// epoch mirrors the server-side epoch for conflict-checked submissions.
+	epoch int64
+}
+
+// CreateSession creates a server-side session: the server computes (or
+// serves from cache) the epoch-1 static partition of h under cfg.
+func (c *Client) CreateSession(ctx context.Context, cfg BalancerConfig, h *Hypergraph) (*RemoteSession, RemoteResult, error) {
+	req := server.CreateSessionRequest{
+		Config:     server.WireConfigFrom(cfg),
+		Hypergraph: server.EncodeHypergraph(h),
+	}
+	var resp server.SessionResponse
+	if _, err := c.do(ctx, "create", http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+		return nil, RemoteResult{}, unwrapFinal(err)
+	}
+	return &RemoteSession{c: c, ID: resp.SessionID}, remoteResult(resp.Result), nil
+}
+
+// Session returns a handle for an existing server-side session id,
+// synchronizing the epoch counter from the server.
+func (c *Client) Session(ctx context.Context, id string) (*RemoteSession, error) {
+	var info server.SessionInfo
+	if _, err := c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+id, nil, &info); err != nil {
+		return nil, unwrapFinal(err)
+	}
+	return &RemoteSession{c: c, ID: id, epoch: info.Epoch}, nil
+}
+
+// SubmitEpoch submits a drifted hypergraph with an unchanged vertex set;
+// the server rebalances against the session's current distribution.
+func (s *RemoteSession) SubmitEpoch(ctx context.Context, h *Hypergraph) (RemoteResult, error) {
+	return s.submit(ctx, server.EpochRequest{
+		Hypergraph: server.EncodeHypergraph(h),
+		Epoch:      s.epoch + 1,
+	})
+}
+
+// SubmitEpochInherited submits a structurally changed hypergraph with the
+// inherited assignment over the new vertex set.
+func (s *RemoteSession) SubmitEpochInherited(ctx context.Context, h *Hypergraph, inherited Partition) (RemoteResult, error) {
+	return s.submit(ctx, server.EpochRequest{
+		Hypergraph: server.EncodeHypergraph(h),
+		Inherited:  inherited.Parts,
+		Epoch:      s.epoch + 1,
+	})
+}
+
+// SubmitEpochIfUnbalanced is SubmitEpoch with the server-side trigger: the
+// result has Rebalanced == false (and the unchanged distribution) when the
+// drift was still within the session threshold.
+func (s *RemoteSession) SubmitEpochIfUnbalanced(ctx context.Context, h *Hypergraph) (RemoteResult, error) {
+	return s.submit(ctx, server.EpochRequest{
+		Hypergraph:       server.EncodeHypergraph(h),
+		Epoch:            s.epoch + 1,
+		OnlyIfUnbalanced: true,
+	})
+}
+
+func (s *RemoteSession) submit(ctx context.Context, req server.EpochRequest) (RemoteResult, error) {
+	var resp server.SessionResponse
+	status, err := s.c.do(ctx, "epoch", http.MethodPost, "/v1/sessions/"+s.ID+"/epochs", req, &resp)
+	if err != nil {
+		if status == http.StatusConflict {
+			// A retried submission may have landed before its response was
+			// lost; reconcile against the server's view.
+			if res, rerr := s.reconcile(ctx, req.Epoch); rerr == nil {
+				return res, nil
+			}
+		}
+		return RemoteResult{}, unwrapFinal(err)
+	}
+	res := remoteResult(resp.Result)
+	if res.Rebalanced {
+		s.epoch = res.Epoch
+	}
+	return res, nil
+}
+
+// reconcile recovers the result of an epoch submission that was applied
+// server-side but whose response was lost: if the server sits exactly at
+// the expected epoch, its last result IS our submission's result.
+func (s *RemoteSession) reconcile(ctx context.Context, expected int64) (RemoteResult, error) {
+	var info server.SessionInfo
+	if _, err := s.c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+s.ID, nil, &info); err != nil {
+		return RemoteResult{}, unwrapFinal(err)
+	}
+	if expected == 0 || info.Epoch != expected {
+		return RemoteResult{}, &APIError{Status: http.StatusConflict, Code: "epoch_conflict",
+			Msg: fmt.Sprintf("session at epoch %d, expected %d", info.Epoch, expected)}
+	}
+	s.epoch = info.Epoch
+	return remoteResult(info.Last), nil
+}
+
+// Epoch returns the client's view of the session epoch.
+func (s *RemoteSession) Epoch() int64 { return s.epoch }
+
+// Partition fetches the session's current distribution and the migration
+// plan summary of the latest epoch (nil before the first rebalance).
+func (s *RemoteSession) Partition(ctx context.Context) (Partition, *RemoteMigration, error) {
+	var resp server.PartitionResponse
+	if _, err := s.c.do(ctx, "partition", http.MethodGet, "/v1/sessions/"+s.ID+"/partition", nil, &resp); err != nil {
+		return Partition{}, nil, unwrapFinal(err)
+	}
+	return Partition{Parts: resp.Parts, K: resp.K}, resp.Migration, nil
+}
+
+// Close deletes the server-side session.
+func (s *RemoteSession) Close(ctx context.Context) error {
+	_, err := s.c.do(ctx, "delete", http.MethodDelete, "/v1/sessions/"+s.ID, nil, nil)
+	return unwrapFinal(err)
+}

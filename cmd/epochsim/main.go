@@ -45,8 +45,9 @@ func main() {
 	flag.Parse()
 
 	if *metricsAddr != "" {
-		bound, _, err := obs.Serve(*metricsAddr, obs.Default())
+		bound, shutdown, err := obs.Serve(*metricsAddr, obs.Default())
 		check(err)
+		defer shutdown()
 		fmt.Fprintf(os.Stderr, "epochsim: metrics on http://%s/metrics\n", bound)
 	}
 

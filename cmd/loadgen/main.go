@@ -1,0 +1,312 @@
+// Command loadgen is a closed-loop load generator for balancerd: it
+// drives N concurrent sessions over the Table-1 dataset analogues, each
+// session running E epochs of drift -> submit -> observe against the
+// service, and reports throughput, p50/p99 latency (from internal/obs
+// histograms), the server's cache hit-rate, and a zero-dropped-epochs
+// verdict. With -bench-json it appends a snapshot to BENCH_serve.json.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 [-sessions 100] [-epochs 3]
+//	        [-datasets xyce680s] [-n 1200] [-k 8] [-alpha 100]
+//	        [-dynamic weights|structure] [-distinct-seeds]
+//	        [-bench-json BENCH_serve.json] [-check-schema schema.json]
+//
+// By default every session runs the identical workload (same seed), which
+// exercises the server's fingerprint-keyed partition cache: the first
+// session computes each epoch, the rest are cache hits. -distinct-seeds
+// gives every session its own drift, forcing full partitioning load.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperbal"
+	"hyperbal/internal/core"
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/dynamics"
+	"hyperbal/internal/graph"
+	"hyperbal/internal/obs"
+)
+
+// Latency histograms and counters of the closed loop, in the same obs
+// registry the rest of the pipeline uses.
+var (
+	lgCreateNs = obs.Default().Histogram("loadgen_create_ns", obs.DurationBounds)
+	lgEpochNs  = obs.Default().Histogram("loadgen_epoch_ns", obs.DurationBounds)
+	lgEpochsOK = obs.Default().Counter("loadgen_epochs_ok_total")
+	lgCached   = obs.Default().Counter("loadgen_epochs_cached_total")
+	lgDropped  = obs.Default().Counter("loadgen_epochs_dropped_total")
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "balancerd base URL (required), e.g. http://127.0.0.1:8080")
+		sessions = flag.Int("sessions", 100, "concurrent sessions")
+		epochs   = flag.Int("epochs", 3, "epochs per session")
+		dsList   = flag.String("datasets", "xyce680s", "comma-separated dataset analogues, assigned round-robin")
+		n        = flag.Int("n", 1200, "vertex count per dataset analogue")
+		k        = flag.Int("k", 8, "parts")
+		alpha    = flag.Int64("alpha", 100, "iterations per epoch")
+		dynamic  = flag.String("dynamic", "weights", "weights | structure drift")
+		method   = flag.String("method", "Zoltan-repart", "load-balancing method")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		distinct = flag.Bool("distinct-seeds", false, "give every session its own seed (defeats the partition cache)")
+
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+		retries = flag.Int("retries", 5, "max retries per request")
+
+		benchJSON   = flag.String("bench-json", "", "append a throughput/latency snapshot to this JSON file")
+		benchLabel  = flag.String("bench-label", "current", "label for the -bench-json snapshot")
+		checkSchema = flag.String("check-schema", "", "validate the server's /metrics.json against this obs schema file")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	names := strings.Split(*dsList, ",")
+	m, err := core.ParseMethod(*method)
+	check(err)
+
+	client := hyperbal.NewClient(*addr, hyperbal.ClientOptions{
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+	})
+
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sseed := *seed
+			if *distinct {
+				sseed += int64(i)
+			}
+			name := names[i%len(names)]
+			if err := runSession(client, name, *n, *k, *alpha, m, *dynamic, sseed, *epochs); err != nil {
+				failures.Add(1)
+				fmt.Fprintf(os.Stderr, "loadgen: session %d (%s): %v\n", i, name, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := lgEpochsOK.Load()
+	dropped := lgDropped.Load()
+	total := int64(*sessions) * int64(*epochs+1) // +1: the create partitioning
+	fmt.Printf("loadgen: %d sessions x %d epochs on %v (%s drift, method %s)\n",
+		*sessions, *epochs, names, *dynamic, m)
+	fmt.Printf("  wall time        %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  ops ok/dropped   %d/%d (of %d)\n", ok, dropped, total)
+	fmt.Printf("  throughput       %.1f ops/s\n", float64(ok)/elapsed.Seconds())
+	fmt.Printf("  create p50/p99   %.2f / %.2f ms\n", ms(lgCreateNs.Quantile(0.50)), ms(lgCreateNs.Quantile(0.99)))
+	fmt.Printf("  epoch  p50/p99   %.2f / %.2f ms\n", ms(lgEpochNs.Quantile(0.50)), ms(lgEpochNs.Quantile(0.99)))
+	fmt.Printf("  client cached    %d/%d responses\n", lgCached.Load(), ok)
+
+	snap, serverHitRate := fetchServerMetrics(*addr)
+	if serverHitRate >= 0 {
+		fmt.Printf("  server cache     %.1f%% hit rate\n", 100*serverHitRate)
+	}
+	if *checkSchema != "" {
+		if snap == nil {
+			fmt.Fprintln(os.Stderr, "loadgen: -check-schema: could not fetch server metrics")
+			os.Exit(1)
+		}
+		schema, err := obs.ReadSchema(*checkSchema)
+		check(err)
+		check(obs.CheckSnapshot(*snap, schema))
+		fmt.Printf("  metrics schema   ok (%s)\n", *checkSchema)
+	}
+
+	if *benchJSON != "" {
+		check(writeBench(*benchJSON, *benchLabel, benchSnapshot{
+			Label: *benchLabel, Date: time.Now().UTC().Format("2006-01-02"),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Sessions:   *sessions, EpochsPerSession: *epochs,
+			Datasets: names, ScaleV: *n, K: *k, Alpha: *alpha,
+			Dynamic: *dynamic, Method: m.String(), DistinctSeeds: *distinct,
+			DurationMs:    float64(elapsed.Microseconds()) / 1000,
+			OpsOK:         ok,
+			OpsDropped:    dropped,
+			ThroughputOps: float64(ok) / elapsed.Seconds(),
+			CreateP50Ms:   ms(lgCreateNs.Quantile(0.50)), CreateP99Ms: ms(lgCreateNs.Quantile(0.99)),
+			EpochP50Ms: ms(lgEpochNs.Quantile(0.50)), EpochP99Ms: ms(lgEpochNs.Quantile(0.99)),
+			ClientCachedFrac:   frac(lgCached.Load(), ok),
+			ServerCacheHitRate: serverHitRate,
+			Retries:            snapshotCounter("client_retries_total"),
+		}))
+		fmt.Printf("  bench snapshot   appended to %s\n", *benchJSON)
+	}
+
+	if dropped > 0 || failures.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAILED: %d dropped epochs, %d failed sessions\n", dropped, failures.Load())
+		os.Exit(1)
+	}
+	fmt.Println("loadgen: all epochs served (zero dropped)")
+}
+
+// runSession drives one full session lifecycle against the server.
+func runSession(client *hyperbal.Client, dataset string, n, k int, alpha int64, m core.Method, dynamic string, seed int64, epochs int) error {
+	ctx := context.Background()
+	g, err := datasets.Generate(dataset, n, seed)
+	if err != nil {
+		return err
+	}
+	h := graph.ToHypergraph(g)
+	cfg := core.Config{K: k, Alpha: alpha, Seed: seed, Method: m}
+
+	t0 := time.Now()
+	sess, first, err := client.CreateSession(ctx, cfg, h)
+	if err != nil {
+		lgDropped.Inc()
+		return fmt.Errorf("create: %w", err)
+	}
+	lgCreateNs.ObserveSince(t0)
+	lgEpochsOK.Inc()
+	if first.Cached {
+		lgCached.Inc()
+	}
+
+	var gen dynamics.Generator
+	switch dynamic {
+	case "structure":
+		gen, err = dynamics.NewStructural(g, first.Partition, k, 0.25, 0.5, seed*3+1)
+	case "weights":
+		gen, err = dynamics.NewRefinement(g, first.Partition, k, 0.1, 1.5, 7.5, seed*3+2)
+	default:
+		err = fmt.Errorf("unknown dynamic %q", dynamic)
+	}
+	if err != nil {
+		return err
+	}
+
+	for e := 1; e <= epochs; e++ {
+		prob, old := gen.Next()
+		t := time.Now()
+		var res hyperbal.RemoteResult
+		if prob.H.NumVertices() != len(first.Partition.Parts) || dynamic == "structure" {
+			res, err = sess.SubmitEpochInherited(ctx, prob.H, old)
+		} else {
+			res, err = sess.SubmitEpoch(ctx, prob.H)
+		}
+		if err != nil {
+			lgDropped.Inc()
+			return fmt.Errorf("epoch %d: %w", e, err)
+		}
+		lgEpochNs.ObserveSince(t)
+		lgEpochsOK.Inc()
+		if res.Cached {
+			lgCached.Inc()
+		}
+		if err := gen.Observe(res.Partition); err != nil {
+			return fmt.Errorf("epoch %d observe: %w", e, err)
+		}
+	}
+	return sess.Close(ctx)
+}
+
+// fetchServerMetrics pulls the server's obs snapshot and derives the
+// partition-cache hit rate (-1 when unavailable).
+func fetchServerMetrics(base string) (*obs.Snapshot, float64) {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics.json")
+	if err != nil {
+		return nil, -1
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, -1
+	}
+	hits := snap.Counters["server_cache_hits_total"]
+	misses := snap.Counters["server_cache_misses_total"]
+	if hits+misses == 0 {
+		return &snap, 0
+	}
+	return &snap, float64(hits) / float64(hits+misses)
+}
+
+// snapshotCounter reads one counter from the local registry.
+func snapshotCounter(name string) int64 {
+	return obs.Default().Counter(name).Load()
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+func frac(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// benchSnapshot is one BENCH_serve.json entry.
+type benchSnapshot struct {
+	Label            string   `json:"label"`
+	Date             string   `json:"date"`
+	GoMaxProcs       int      `json:"gomaxprocs"`
+	Sessions         int      `json:"sessions"`
+	EpochsPerSession int      `json:"epochs_per_session"`
+	Datasets         []string `json:"datasets"`
+	ScaleV           int      `json:"scale_v"`
+	K                int      `json:"k"`
+	Alpha            int64    `json:"alpha"`
+	Dynamic          string   `json:"dynamic"`
+	Method           string   `json:"method"`
+	DistinctSeeds    bool     `json:"distinct_seeds"`
+
+	DurationMs    float64 `json:"duration_ms"`
+	OpsOK         int64   `json:"ops_ok"`
+	OpsDropped    int64   `json:"ops_dropped"`
+	ThroughputOps float64 `json:"throughput_ops_per_s"`
+	CreateP50Ms   float64 `json:"create_p50_ms"`
+	CreateP99Ms   float64 `json:"create_p99_ms"`
+	EpochP50Ms    float64 `json:"epoch_p50_ms"`
+	EpochP99Ms    float64 `json:"epoch_p99_ms"`
+
+	ClientCachedFrac   float64 `json:"client_cached_frac"`
+	ServerCacheHitRate float64 `json:"server_cache_hit_rate"`
+	Retries            int64   `json:"retries"`
+	Notes              string  `json:"notes,omitempty"`
+}
+
+type benchFile struct {
+	Snapshots []benchSnapshot `json:"snapshots"`
+}
+
+// writeBench appends a snapshot to path, creating the file if needed.
+func writeBench(path, label string, snap benchSnapshot) error {
+	var file benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("bench-json: %s exists but is not a benchmark file: %w", path, err)
+		}
+	}
+	file.Snapshots = append(file.Snapshots, snap)
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"hyperbal/internal/partition"
 	"hyperbal/internal/pgp"
 	"hyperbal/internal/phg"
+	"hyperbal/internal/server"
 	"hyperbal/internal/toolkit"
 )
 
@@ -412,6 +413,29 @@ func DistributeHypergraph2D(c *Comm, root int, h *Hypergraph, px, py int) (*Dist
 func PartitionHypergraphVCycles(h *Hypergraph, opt HGPOptions, cycles int) (Partition, error) {
 	return hgp.PartitionWithVCycles(h, opt, cycles)
 }
+
+// ---- Serving (balancerd) ----
+
+// ServeConfig parameterizes an embedded balancerd serving tier: worker
+// pool size, queue depth, session TTL, cache capacity and fault-injection
+// knobs. See cmd/balancerd for the daemon wiring.
+type ServeConfig = server.Config
+
+// Server is the balancerd serving core: session store, admission control,
+// fingerprint-keyed partition cache and the HTTP API. Mount Handler() on a
+// listener and call Drain on shutdown.
+type Server = server.Server
+
+// NewServer builds an embeddable balancerd serving core.
+func NewServer(cfg ServeConfig) *Server { return server.New(cfg) }
+
+// HypergraphFingerprint returns the stable content hash of a hypergraph —
+// the cache key component balancerd uses to serve identical epoch
+// submissions without re-partitioning.
+func HypergraphFingerprint(h *Hypergraph) string { return h.Fingerprint() }
+
+// The Client for a remote balancerd (with timeout/retry/backoff) lives in
+// client.go: NewClient, Client, RemoteSession, RemoteResult.
 
 // ---- Epoch session management ----
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"hyperbal/internal/gp"
@@ -60,6 +61,19 @@ func (m Method) String() string {
 
 // Methods lists all four in the figures' bar order.
 var Methods = []Method{HypergraphRepart, GraphRepart, HypergraphScratch, GraphScratch}
+
+// ParseMethod resolves a method from its paper name (the String form,
+// case-insensitive): "Zoltan-repart", "Zoltan-scratch", "ParMETIS-repart",
+// "ParMETIS-scratch", "Zoltan-refineonly". This is the wire form the
+// balancerd service accepts.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range []Method{HypergraphRepart, HypergraphScratch, GraphRepart, GraphScratch, HypergraphRefineOnly} {
+		if strings.EqualFold(s, m.String()) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown method %q (want Zoltan-repart, Zoltan-scratch, ParMETIS-repart, ParMETIS-scratch or Zoltan-refineonly)", s)
+}
 
 // Config parameterizes a Balancer.
 type Config struct {

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSessionConcurrentRebalance is a regression test for the Session
+// concurrency contract: concurrent Rebalance / ShouldRebalance / accessor
+// calls must be serialized by the internal mutex (run under -race).
+// Concurrent callers may interleave in any order, but bookkeeping must
+// stay consistent: epoch == len(History)-1 and every epoch advances by 1.
+func TestSessionConcurrentRebalance(t *testing.T) {
+	p := mesh(12, 12)
+	bal, err := NewBalancer(Config{K: 4, Alpha: 10, Seed: 3, Method: HypergraphRepart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := NewSession(bal, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers, rounds = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*rounds)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := s.ShouldRebalance(p); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.Rebalance(p); err != nil {
+					errs <- err
+					return
+				}
+				_ = s.Current()
+				_ = s.Epoch()
+				_ = s.LastResult()
+				_ = s.HistoryLen()
+				_ = s.TotalCost(10)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	wantEpoch := int64(callers * rounds)
+	if s.Epoch() != wantEpoch {
+		t.Fatalf("epoch = %d, want %d (lost update under concurrency)", s.Epoch(), wantEpoch)
+	}
+	if got := s.HistoryLen(); int64(got) != wantEpoch+1 {
+		t.Fatalf("history len = %d, want %d", got, wantEpoch+1)
+	}
+}

@@ -1,0 +1,66 @@
+package hypergraph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable content hash of the hypergraph: two
+// hypergraphs have the same fingerprint exactly when they have the same
+// vertex count, the same nets in the same order (cost and pin sequence),
+// the same vertex weights and sizes, and the same fixed-vertex labels.
+//
+// The hash covers everything that determines a partitioning result for a
+// given configuration, so it is a sound cache key for repartition-result
+// caches (the balancerd partition cache keys on it). It is stable across
+// processes and across a WriteText -> ReadText round trip: the text codec
+// preserves net order, pin order within a net, costs, weights and sizes
+// (fixed labels are runtime state and not serialized, so a round-tripped
+// hypergraph fingerprints equal only if it had no fixed labels — callers
+// carrying fixed labels must re-apply them).
+//
+// The encoding is length-prefixed and section-tagged, so structurally
+// different hypergraphs cannot collide by concatenation ambiguity.
+func (h *Hypergraph) Fingerprint() string {
+	sum := h.fingerprintSum()
+	return "hbfp1:" + hex.EncodeToString(sum[:])
+}
+
+// fingerprintSum computes the raw SHA-256 of the canonical encoding.
+func (h *Hypergraph) fingerprintSum() [sha256.Size]byte {
+	hw := sha256.New()
+	var buf [8]byte
+	put32 := func(tag byte, xs []int32) {
+		hw.Write([]byte{tag})
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(xs)))
+		hw.Write(buf[:])
+		for _, x := range xs {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(x))
+			hw.Write(buf[:4])
+		}
+	}
+	put64 := func(tag byte, xs []int64) {
+		hw.Write([]byte{tag})
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(xs)))
+		hw.Write(buf[:])
+		for _, x := range xs {
+			binary.LittleEndian.PutUint64(buf[:], uint64(x))
+			hw.Write(buf[:])
+		}
+	}
+	hw.Write([]byte("hyperbal-hg-v1"))
+	binary.LittleEndian.PutUint64(buf[:], uint64(h.NumVertices()))
+	hw.Write(buf[:])
+	put32('N', h.netStart)
+	put32('P', h.netPins)
+	put64('C', h.costs)
+	put64('W', h.weights)
+	put64('S', h.sizes)
+	if h.fixed != nil {
+		put32('F', h.fixed)
+	}
+	var sum [sha256.Size]byte
+	hw.Sum(sum[:0])
+	return sum
+}

@@ -1,0 +1,116 @@
+package hypergraph_test
+
+// Property tests for the content fingerprint (external test package so we
+// can drive it with the Table-1 dataset analogues from internal/datasets).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
+)
+
+// TestFingerprintRoundTripStable: WriteText -> ReadText must preserve the
+// fingerprint for every dataset analogue. This is the property the server's
+// partition cache depends on: a hypergraph that round-trips through any
+// serialization must hash to the same cache key. (The analogues carry no
+// fixed labels; WriteText deliberately does not serialize fixed labels,
+// which are runtime state, so fixed hypergraphs are out of scope here.)
+func TestFingerprintRoundTripStable(t *testing.T) {
+	for _, name := range datasets.Names() {
+		t.Run(name, func(t *testing.T) {
+			g, err := datasets.Generate(name, 400, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := graph.ToHypergraph(g)
+			fp := h.Fingerprint()
+			if !strings.HasPrefix(fp, "hbfp1:") {
+				t.Fatalf("fingerprint missing version prefix: %q", fp)
+			}
+
+			var buf bytes.Buffer
+			if err := hypergraph.WriteText(&buf, h); err != nil {
+				t.Fatal(err)
+			}
+			h2, err := hypergraph.ReadText(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp2 := h2.Fingerprint(); fp2 != fp {
+				t.Errorf("fingerprint changed across WriteText/ReadText: %s -> %s", fp, fp2)
+			}
+			// Clone must also be identity-stable.
+			if fp3 := h.Clone().Fingerprint(); fp3 != fp {
+				t.Errorf("fingerprint changed across Clone: %s -> %s", fp, fp3)
+			}
+			// And deterministic across calls.
+			if fp4 := h.Fingerprint(); fp4 != fp {
+				t.Errorf("fingerprint not deterministic: %s -> %s", fp, fp4)
+			}
+		})
+	}
+}
+
+// TestFingerprintSensitivity: perturbing any content channel — a vertex
+// weight, a vertex size, a net cost, the pin structure, or fixed labels —
+// must change the fingerprint. A collision here would make the server's
+// cache serve a stale partition for a drifted hypergraph.
+func TestFingerprintSensitivity(t *testing.T) {
+	build := func(mutate func(*hypergraph.Builder)) *hypergraph.Hypergraph {
+		b := hypergraph.NewBuilder(6)
+		b.AddNet(1, 0, 1, 2)
+		b.AddNet(2, 2, 3)
+		b.AddNet(1, 3, 4, 5)
+		for v := 0; v < 6; v++ {
+			b.SetWeight(v, int64(10+v))
+			b.SetSize(v, int64(100+v))
+		}
+		if mutate != nil {
+			mutate(b)
+		}
+		return b.Build()
+	}
+
+	base := build(nil).Fingerprint()
+	perturbations := map[string]*hypergraph.Hypergraph{
+		"weight":    build(func(b *hypergraph.Builder) { b.SetWeight(3, 999) }),
+		"size":      build(func(b *hypergraph.Builder) { b.SetSize(3, 999) }),
+		"extra net": build(func(b *hypergraph.Builder) { b.AddNet(1, 0, 1, 2) }),
+		"fixed":     build(func(b *hypergraph.Builder) { b.Fix(0, 1) }),
+		"structure": build(func(b *hypergraph.Builder) { b.AddNet(5, 0, 5) }),
+	}
+	for name, h := range perturbations {
+		if fp := h.Fingerprint(); fp == base {
+			t.Errorf("%s perturbation did not change the fingerprint", name)
+		}
+	}
+	if build(nil).ScaleCosts(3).Fingerprint() == base {
+		t.Error("net-cost perturbation (ScaleCosts) did not change the fingerprint")
+	}
+
+	// WithFixed / WithoutFixed views must hash the labels in and out.
+	h := build(nil)
+	fixed := make([]int32, 6)
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	fixed[2] = 1
+	hf := h.WithFixed(fixed)
+	if hf.Fingerprint() == base {
+		t.Error("WithFixed did not change the fingerprint")
+	}
+	if got := hf.WithoutFixed().Fingerprint(); got != base {
+		t.Errorf("WithoutFixed fingerprint = %s, want base %s", got, base)
+	}
+
+	// Different fixed assignments must differ from each other.
+	fixed2 := append([]int32(nil), fixed...)
+	fixed2[2] = 0
+	if h.WithFixed(fixed).Fingerprint() == h.WithFixed(fixed2).Fingerprint() {
+		t.Error("different fixed labels collide")
+	}
+}

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 )
 
 // Handler serves the registry: Prometheus text at the mount point, JSON
@@ -38,10 +40,16 @@ func NewMux(r *Registry) *http.ServeMux {
 	return mux
 }
 
+// ShutdownGrace bounds how long Serve's shutdown func waits for in-flight
+// scrapes before closing remaining connections hard.
+const ShutdownGrace = 5 * time.Second
+
 // Serve starts the debug HTTP server on addr in the background and
 // returns the bound address (useful with ":0") and a shutdown func. The
-// server is best-effort observability: request errors are ignored, and
-// the caller typically lets process exit tear it down.
+// shutdown func drains gracefully: it stops accepting new connections and
+// waits up to ShutdownGrace for in-flight scrapes to complete (a plain
+// Close would drop a scrape that raced process exit). Callers should
+// defer it so final /metrics reads observe the complete run.
 func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -49,7 +57,11 @@ func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) 
 	}
 	srv := &http.Server{Handler: NewMux(r)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}, nil
 }
 
 // DumpJSONFile writes the registry snapshot to path ("-" means stdout).

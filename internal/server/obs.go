@@ -1,0 +1,31 @@
+package server
+
+import "hyperbal/internal/obs"
+
+// Registry handles for the serving tier. Queue/in-flight gauges track the
+// admission controller, the cache counters feed the hit-rate panel, and
+// server_request_ns{route=...} is the latency histogram the loadgen
+// p50/p99 report reads.
+var (
+	obsRequests  = obs.Default().CounterVec("server_requests_total", "route")
+	obsRequestNs = obs.Default().HistogramVec("server_request_ns", "route", obs.DurationBounds)
+	obsResponses = obs.Default().CounterVec("server_responses_total", "status")
+
+	obsInFlight         = obs.Default().Gauge("server_inflight_epochs")
+	obsQueueDepth       = obs.Default().Gauge("server_queue_depth")
+	obsRejectedBusy     = obs.Default().Counter("server_rejected_busy_total")
+	obsRejectedDraining = obs.Default().Counter("server_rejected_draining_total")
+
+	obsCacheHits    = obs.Default().Counter("server_cache_hits_total")
+	obsCacheMisses  = obs.Default().Counter("server_cache_misses_total")
+	obsCacheEntries = obs.Default().Gauge("server_cache_entries")
+
+	obsSessionsActive  = obs.Default().Gauge("server_sessions_active")
+	obsSessionsCreated = obs.Default().Counter("server_sessions_created_total")
+	obsSessionsEvicted = obs.Default().Counter("server_sessions_evicted_total")
+	obsSessionsClosed  = obs.Default().Counter("server_sessions_closed_total")
+
+	obsEpochs       = obs.Default().Counter("server_epochs_total")
+	obsEpochSkipped = obs.Default().Counter("server_epochs_skipped_total")
+	obsFaultDelayNs = obs.Default().Histogram("server_fault_delay_ns", obs.DurationBounds)
+)

@@ -1,0 +1,51 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"hyperbal/internal/core"
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/graph"
+	"hyperbal/internal/obs"
+	"hyperbal/internal/server"
+)
+
+// TestMetricsSchema: after a minimal workload, the server's /metrics.json
+// must satisfy testdata/serve_schema.json — the same contract the CI smoke
+// job asserts through `loadgen -check-schema`.
+func TestMetricsSchema(t *testing.T) {
+	_, ts, client := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	g, err := datasets.Generate("xyce680s", 200, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := graph.ToHypergraph(g)
+	sess, _, err := client.CreateSession(ctx, core.Config{K: 4, Alpha: 50, Seed: 13}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SubmitEpoch(ctx, h); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := obs.ReadSchema("testdata/serve_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckSnapshot(snap, schema); err != nil {
+		t.Fatal(err)
+	}
+}

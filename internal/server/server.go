@@ -1,0 +1,487 @@
+// Package server is the balancerd serving tier: a stdlib-only HTTP/JSON
+// service that exposes the core.Balancer / core.Session epoch lifecycle as
+// a long-running daemon. It multiplexes many concurrent sessions over a
+// bounded worker pool (admission control with queueing and backpressure),
+// serializes epoch submissions per session, evicts idle sessions by TTL,
+// and serves identical epoch submissions from a repartition-result cache
+// keyed by the hypergraph content fingerprint.
+//
+// Endpoints:
+//
+//	POST   /v1/sessions                create a session (config + hypergraph)
+//	GET    /v1/sessions/{id}           session info
+//	POST   /v1/sessions/{id}/epochs    submit an epoch (drifted hypergraph)
+//	GET    /v1/sessions/{id}/partition current partition + last migration plan
+//	DELETE /v1/sessions/{id}           close a session
+//	GET    /healthz                    liveness + drain state
+//	GET    /metrics, /metrics.json     the internal/obs registry
+//
+// Backpressure contract: when the queue is full the server answers 429
+// (code "busy"); during drain it answers 503 (code "draining"). Both are
+// rejected before any session state changes, so clients retry them safely.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"time"
+
+	"hyperbal/internal/core"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/migrate"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/obs"
+	"hyperbal/internal/partition"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrently running partitioning jobs
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker beyond the running ones;
+	// submissions past workers+queue get 429 (default 256; negative = 0).
+	QueueDepth int
+	// SessionTTL evicts sessions idle longer than this (default 15m;
+	// negative disables eviction).
+	SessionTTL time.Duration
+	// CacheEntries bounds the repartition-result cache (default 4096;
+	// negative disables the cache).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// Fault, when non-nil with a positive MaxDelay, injects a seeded
+	// pseudorandom delay in [0, MaxDelay) into every partitioning job —
+	// the mpi.FaultPlan knob reused at the serving tier to exercise client
+	// timeout/retry paths deterministically. Other FaultPlan fields are
+	// message-level and ignored here.
+	Fault *mpi.FaultPlan
+	// Logf, when non-nil, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.SessionTTL < 0 {
+		c.SessionTTL = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the balancerd serving core, independent of the listener: New
+// builds it, Handler returns the routed mux, Drain implements graceful
+// shutdown, Close releases background resources.
+type Server struct {
+	cfg   Config
+	store *store
+	adm   *admission
+	cache *partitionCache
+	mux   *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newStore(cfg.SessionTTL),
+		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
+		cache: newPartitionCache(cfg.CacheEntries),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.route("info", s.handleInfo))
+	mux.HandleFunc("POST /v1/sessions/{id}/epochs", s.route("epoch", s.handleEpoch))
+	mux.HandleFunc("GET /v1/sessions/{id}/partition", s.route("partition", s.handlePartition))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
+	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.Default().WriteJSON(w)
+	})
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting new partitioning work (subsequent submissions get
+// 503) and waits, bounded by ctx, for every in-flight and queued epoch to
+// complete. Read endpoints keep serving; call the http.Server's Shutdown
+// after Drain to close the listener.
+func (s *Server) Drain(ctx context.Context) error {
+	s.cfg.Logf("server: draining (completing in-flight epochs)")
+	err := s.adm.drain(ctx)
+	if err != nil {
+		s.cfg.Logf("server: drain incomplete: %v", err)
+	} else {
+		s.cfg.Logf("server: drained")
+	}
+	return err
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.adm.isDraining() }
+
+// Close stops background goroutines (the TTL janitor). The handler stays
+// functional for reads.
+func (s *Server) Close() { s.store.close() }
+
+// Sessions returns the number of live sessions (for tests and health).
+func (s *Server) Sessions() int { return s.store.len() }
+
+// statusWriter records the response code for the per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler with request counting, latency observation and
+// response-class accounting.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		obsRequests.With(name).Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		obsRequestNs.With(name).ObserveSince(start)
+		obsResponses.With(fmt.Sprintf("%dxx", sw.code/100)).Inc()
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to the wire.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+// admit runs the admission controller against the request, writing the
+// backpressure response on rejection.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.adm.acquire(r.Context())
+	switch {
+	case err == nil:
+		return release, true
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting new epochs")
+	case errors.Is(err, errBusy):
+		writeError(w, http.StatusTooManyRequests, "busy", "worker queue is full; retry with backoff")
+	default: // client went away while queued
+		writeError(w, 499, "canceled", err.Error())
+	}
+	return nil, false
+}
+
+// faultDelay applies the configured seeded delay to one partitioning job.
+func (s *Server) faultDelay(job int64) {
+	f := s.cfg.Fault
+	if f == nil || f.MaxDelay <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(f.Seed ^ (job * 0x5851F42D4C957F2D)))
+	d := time.Duration(rng.Int63n(int64(f.MaxDelay)))
+	obsFaultDelayNs.Observe(int64(d))
+	time.Sleep(d)
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.ToCore()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	bal, err := core.NewBalancer(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	h, err := req.Hypergraph.Decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "hypergraph: "+err.Error())
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	eff := bal.Config()
+	key := cacheKey(eff, 0, h.Fingerprint(), partition.Partition{})
+	var (
+		sess   *core.Session
+		res    core.Result
+		cached bool
+	)
+	if res, cached = s.cache.get(key); cached {
+		sess = core.NewSessionWith(bal, res)
+	} else {
+		s.faultDelay(int64(obsSessionsCreated.Load() + 1))
+		sess, res, err = core.NewSession(bal, core.Problem{H: h})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		s.cache.put(key, res)
+	}
+
+	entry := &session{id: newSessionID(), cfg: eff, sess: sess}
+	s.store.add(entry)
+	obsSessionsCreated.Inc()
+	s.cfg.Logf("server: session %s created (k=%d method=%s |V|=%d cached=%v)",
+		entry.id, eff.K, eff.Method, h.NumVertices(), cached)
+	writeJSON(w, http.StatusCreated, SessionResponse{
+		SessionID: entry.id,
+		Result:    wireResult(0, res, cached, true),
+	})
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	entry := s.store.get(r.PathValue("id"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		return
+	}
+	var req EpochRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	h, err := req.Hypergraph.Decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "hypergraph: "+err.Error())
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// Per-session serialization: one epoch at a time per session, while
+	// other sessions proceed on other workers.
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	defer entry.touch()
+
+	epoch := entry.sess.Epoch()
+	if req.Epoch > 0 && req.Epoch != epoch+1 {
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("expected epoch %d, session is at %d", req.Epoch, epoch),
+			Code:  "epoch_conflict",
+			Epoch: epoch,
+		})
+		return
+	}
+
+	old := entry.sess.Current()
+	structural := h.NumVertices() != len(old.Parts)
+	inherited := old
+	if structural {
+		if len(req.Inherited) != h.NumVertices() {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf(
+				"vertex set changed (%d -> %d); submit `inherited` with one part per new vertex",
+				len(old.Parts), h.NumVertices()))
+			return
+		}
+	}
+	if len(req.Inherited) > 0 {
+		for v, p := range req.Inherited {
+			if p < 0 || int(p) >= entry.cfg.K {
+				writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf(
+					"inherited[%d] = %d out of range [0,%d)", v, p, entry.cfg.K))
+				return
+			}
+		}
+		inherited = partition.Partition{Parts: req.Inherited, K: entry.cfg.K}
+	}
+
+	if req.OnlyIfUnbalanced && !structural {
+		should, err := entry.sess.ShouldRebalance(core.Problem{H: h})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		if !should {
+			obsEpochSkipped.Inc()
+			cur := entry.sess.Current()
+			writeJSON(w, http.StatusOK, SessionResponse{
+				SessionID: entry.id,
+				Result: WireResult{
+					Epoch:      epoch,
+					K:          cur.K,
+					Parts:      cur.Parts,
+					CommVolume: partition.CutSize(h, cur),
+					Rebalanced: false,
+				},
+			})
+			return
+		}
+	}
+
+	key := cacheKey(entry.cfg, epoch+1, h.Fingerprint(), inherited)
+	res, cached := s.cache.get(key)
+	if cached {
+		entry.sess.Adopt(res)
+	} else {
+		s.faultDelay(int64(obsEpochs.Load() + 1))
+		if structural || len(req.Inherited) > 0 {
+			res, err = entry.sess.RebalanceInherited(core.Problem{H: h}, inherited)
+		} else {
+			res, err = entry.sess.Rebalance(core.Problem{H: h})
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		s.cache.put(key, res)
+	}
+	obsEpochs.Inc()
+
+	entry.lastMig = migrationSummary(h, inherited, res.Partition)
+	writeJSON(w, http.StatusOK, SessionResponse{
+		SessionID: entry.id,
+		Result:    wireResult(entry.sess.Epoch(), res, cached, true),
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	entry := s.store.get(r.PathValue("id"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		return
+	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	last := entry.sess.LastResult()
+	writeJSON(w, http.StatusOK, SessionInfo{
+		SessionID:  entry.id,
+		Config:     WireConfigFrom(entry.cfg),
+		Epoch:      entry.sess.Epoch(),
+		HistoryLen: entry.sess.HistoryLen(),
+		TotalCost:  entry.sess.TotalCost(entry.cfg.Alpha),
+		Last:       wireResult(entry.sess.Epoch(), last, false, true),
+	})
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	entry := s.store.get(r.PathValue("id"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		return
+	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	cur := entry.sess.Current()
+	writeJSON(w, http.StatusOK, PartitionResponse{
+		SessionID: entry.id,
+		Epoch:     entry.sess.Epoch(),
+		K:         cur.K,
+		Parts:     cur.Parts,
+		Migration: entry.lastMig,
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.store.remove(r.PathValue("id")) {
+		obsSessionsClosed.Inc()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found", "unknown session")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.adm.isDraining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "sessions": s.store.len()})
+}
+
+// wireResult renders a core.Result.
+func wireResult(epoch int64, res core.Result, cached, rebalanced bool) WireResult {
+	return WireResult{
+		Epoch:           epoch,
+		K:               res.Partition.K,
+		Parts:           res.Partition.Parts,
+		CommVolume:      res.CommVolume,
+		MigrationVolume: res.MigrationVolume,
+		Moved:           res.Moved,
+		RepartMs:        float64(res.RepartTime.Microseconds()) / 1000,
+		Cached:          cached,
+		Rebalanced:      rebalanced,
+	}
+}
+
+// migrationSummary condenses the migration plan from old to new under h
+// (nil when the plan cannot be built, e.g. mismatched K — not reachable
+// through the handlers).
+func migrationSummary(h *hypergraph.Hypergraph, old, new partition.Partition) *MigrationSummary {
+	plan, err := migrate.NewPlan(h, old, new)
+	if err != nil {
+		return nil
+	}
+	return &MigrationSummary{
+		Moves:       len(plan.Moves),
+		TotalVolume: plan.TotalVolume(),
+		MaxOutbound: plan.MaxOutbound(),
+		MaxInbound:  plan.MaxInbound(),
+		Volume:      plan.Volume,
+	}
+}

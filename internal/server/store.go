@@ -1,0 +1,126 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperbal/internal/core"
+)
+
+// session is one served core.Session plus its serving state: the
+// per-session mutex that serializes epoch submissions (so two concurrent
+// submissions for the same session execute in some order, never
+// interleaved), the effective configuration for cache keying, and the
+// latest migration plan summary for GET /partition.
+type session struct {
+	id   string
+	cfg  core.Config // effective (defaulted) balancer configuration
+	sess *core.Session
+
+	mu      sync.Mutex // serializes epoch work on this session
+	lastMig *MigrationSummary
+
+	lastAccess atomic.Int64 // unix nanos, for TTL eviction
+}
+
+func (s *session) touch() { s.lastAccess.Store(time.Now().UnixNano()) }
+
+// store is the concurrent session store: RWMutex-guarded id map plus a
+// TTL janitor that evicts sessions idle longer than ttl.
+type store struct {
+	mu  sync.RWMutex
+	m   map[string]*session
+	ttl time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+func newStore(ttl time.Duration) *store {
+	st := &store{m: make(map[string]*session), ttl: ttl, stop: make(chan struct{})}
+	if ttl > 0 {
+		interval := ttl / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		go st.janitor(interval)
+	}
+	return st
+}
+
+func (st *store) janitor(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case now := <-t.C:
+			st.sweep(now)
+		}
+	}
+}
+
+// sweep evicts sessions whose last access is older than ttl. A session
+// mid-epoch is never evicted: epoch handlers hold a reference and touch
+// the session when done, and eviction only deletes the map entry.
+func (st *store) sweep(now time.Time) {
+	cutoff := now.Add(-st.ttl).UnixNano()
+	st.mu.Lock()
+	for id, s := range st.m {
+		if s.lastAccess.Load() < cutoff {
+			delete(st.m, id)
+			obsSessionsEvicted.Inc()
+		}
+	}
+	obsSessionsActive.Set(int64(len(st.m)))
+	st.mu.Unlock()
+}
+
+func (st *store) add(s *session) {
+	s.touch()
+	st.mu.Lock()
+	st.m[s.id] = s
+	obsSessionsActive.Set(int64(len(st.m)))
+	st.mu.Unlock()
+}
+
+func (st *store) get(id string) *session {
+	st.mu.RLock()
+	s := st.m[id]
+	st.mu.RUnlock()
+	if s != nil {
+		s.touch()
+	}
+	return s
+}
+
+func (st *store) remove(id string) bool {
+	st.mu.Lock()
+	_, ok := st.m[id]
+	delete(st.m, id)
+	obsSessionsActive.Set(int64(len(st.m)))
+	st.mu.Unlock()
+	return ok
+}
+
+func (st *store) len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.m)
+}
+
+// close stops the janitor. Sessions remain readable.
+func (st *store) close() { st.stopOnce.Do(func() { close(st.stop) }) }
+
+// newSessionID returns a 128-bit random session id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}

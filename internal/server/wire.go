@@ -1,0 +1,254 @@
+package server
+
+import (
+	"fmt"
+
+	"hyperbal/internal/core"
+	"hyperbal/internal/hypergraph"
+)
+
+// Wire types of the balancerd JSON API. The request/response bodies are
+// plain JSON renderings of the core types: a hypergraph is its net list
+// plus per-vertex weights/sizes, a configuration is core.Config with the
+// method spelled by its paper name, a result is the partition plus the
+// volumes of core.Result. The Go client in the root package and the
+// server handlers share these so the two sides cannot drift.
+
+// WireNet is one net: its communication cost and pin list (0-based vertex
+// ids, no duplicates).
+type WireNet struct {
+	Cost int64   `json:"cost"`
+	Pins []int32 `json:"pins"`
+}
+
+// WireHypergraph is the JSON form of a hypergraph. Weights, Sizes and
+// Fixed may be omitted: absent weights/sizes default to 1 per vertex,
+// absent fixed means all vertices free.
+type WireHypergraph struct {
+	NumVertices int       `json:"num_vertices"`
+	Nets        []WireNet `json:"nets"`
+	Weights     []int64   `json:"weights,omitempty"`
+	Sizes       []int64   `json:"sizes,omitempty"`
+	Fixed       []int32   `json:"fixed,omitempty"`
+}
+
+// EncodeHypergraph renders h in wire form. Slices alias h's storage; the
+// result is for immediate marshaling, not mutation.
+func EncodeHypergraph(h *hypergraph.Hypergraph) WireHypergraph {
+	w := WireHypergraph{
+		NumVertices: h.NumVertices(),
+		Nets:        make([]WireNet, h.NumNets()),
+		Weights:     make([]int64, h.NumVertices()),
+		Sizes:       make([]int64, h.NumVertices()),
+	}
+	for n := 0; n < h.NumNets(); n++ {
+		w.Nets[n] = WireNet{Cost: h.Cost(n), Pins: h.Pins(n)}
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		w.Weights[v] = h.Weight(v)
+		w.Sizes[v] = h.Size(v)
+	}
+	if h.HasFixed() {
+		w.Fixed = make([]int32, h.NumVertices())
+		for v := range w.Fixed {
+			w.Fixed[v] = h.Fixed(v)
+		}
+	}
+	return w
+}
+
+// Decode validates the wire hypergraph and builds the in-memory form.
+func (w WireHypergraph) Decode() (*hypergraph.Hypergraph, error) {
+	if w.NumVertices < 0 {
+		return nil, fmt.Errorf("num_vertices is negative")
+	}
+	if len(w.Weights) != 0 && len(w.Weights) != w.NumVertices {
+		return nil, fmt.Errorf("weights has %d entries, want 0 or %d", len(w.Weights), w.NumVertices)
+	}
+	if len(w.Sizes) != 0 && len(w.Sizes) != w.NumVertices {
+		return nil, fmt.Errorf("sizes has %d entries, want 0 or %d", len(w.Sizes), w.NumVertices)
+	}
+	if len(w.Fixed) != 0 && len(w.Fixed) != w.NumVertices {
+		return nil, fmt.Errorf("fixed has %d entries, want 0 or %d", len(w.Fixed), w.NumVertices)
+	}
+	b := hypergraph.NewBuilder(w.NumVertices)
+	for i, v := range w.Weights {
+		if v < 0 {
+			return nil, fmt.Errorf("vertex %d has negative weight %d", i, v)
+		}
+		b.SetWeight(i, v)
+	}
+	for i, v := range w.Sizes {
+		if v < 0 {
+			return nil, fmt.Errorf("vertex %d has negative size %d", i, v)
+		}
+		b.SetSize(i, v)
+	}
+	for i, p := range w.Fixed {
+		if p == hypergraph.Free {
+			continue
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("vertex %d has invalid fixed label %d", i, p)
+		}
+		b.Fix(i, int(p))
+	}
+	pins := make([]int, 0, 64)
+	for n, net := range w.Nets {
+		if net.Cost < 0 {
+			return nil, fmt.Errorf("net %d has negative cost %d", n, net.Cost)
+		}
+		if len(net.Pins) == 0 {
+			return nil, fmt.Errorf("net %d is empty", n)
+		}
+		pins = pins[:0]
+		for _, p := range net.Pins {
+			if p < 0 || int(p) >= w.NumVertices {
+				return nil, fmt.Errorf("net %d: pin %d out of range [0,%d)", n, p, w.NumVertices)
+			}
+			pins = append(pins, int(p))
+		}
+		b.AddNet(net.Cost, pins...)
+	}
+	return b.Build(), nil
+}
+
+// WireConfig is the JSON form of core.Config; Method uses the paper name
+// ("Zoltan-repart" by default).
+type WireConfig struct {
+	K             int     `json:"k"`
+	Alpha         int64   `json:"alpha,omitempty"`
+	Imbalance     float64 `json:"imbalance,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Method        string  `json:"method,omitempty"`
+	MaxClique     int     `json:"max_clique,omitempty"`
+	CoarsenTo     int     `json:"coarsen_to,omitempty"`
+	InitialStarts int     `json:"initial_starts,omitempty"`
+	RefinePasses  int     `json:"refine_passes,omitempty"`
+	Parallelism   int     `json:"parallelism,omitempty"`
+}
+
+// ToCore resolves the wire configuration into a core.Config.
+func (w WireConfig) ToCore() (core.Config, error) {
+	cfg := core.Config{
+		K:             w.K,
+		Alpha:         w.Alpha,
+		Imbalance:     w.Imbalance,
+		Seed:          w.Seed,
+		MaxClique:     w.MaxClique,
+		CoarsenTo:     w.CoarsenTo,
+		InitialStarts: w.InitialStarts,
+		RefinePasses:  w.RefinePasses,
+		Parallelism:   w.Parallelism,
+	}
+	if w.Method != "" {
+		m, err := core.ParseMethod(w.Method)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Method = m
+	}
+	return cfg, nil
+}
+
+// WireConfigFrom renders a core.Config in wire form.
+func WireConfigFrom(cfg core.Config) WireConfig {
+	return WireConfig{
+		K:             cfg.K,
+		Alpha:         cfg.Alpha,
+		Imbalance:     cfg.Imbalance,
+		Seed:          cfg.Seed,
+		Method:        cfg.Method.String(),
+		MaxClique:     cfg.MaxClique,
+		CoarsenTo:     cfg.CoarsenTo,
+		InitialStarts: cfg.InitialStarts,
+		RefinePasses:  cfg.RefinePasses,
+		Parallelism:   cfg.Parallelism,
+	}
+}
+
+// CreateSessionRequest is the body of POST /v1/sessions.
+type CreateSessionRequest struct {
+	Config     WireConfig     `json:"config"`
+	Hypergraph WireHypergraph `json:"hypergraph"`
+}
+
+// EpochRequest is the body of POST /v1/sessions/{id}/epochs: the epoch's
+// drifted hypergraph, plus the inherited assignment when the vertex set
+// changed. Epoch, when positive, is the expected epoch number of this
+// submission (current+1); a mismatch is rejected with 409 so a retried
+// submission cannot advance a session twice. OnlyIfUnbalanced asks the
+// server to first evaluate the session's rebalance trigger and return the
+// unchanged distribution (rebalanced=false) if the drift is still within
+// threshold.
+type EpochRequest struct {
+	Hypergraph       WireHypergraph `json:"hypergraph"`
+	Inherited        []int32        `json:"inherited,omitempty"`
+	Epoch            int64          `json:"epoch,omitempty"`
+	OnlyIfUnbalanced bool           `json:"only_if_unbalanced,omitempty"`
+}
+
+// WireResult is one load-balance operation in wire form.
+type WireResult struct {
+	Epoch           int64   `json:"epoch"`
+	K               int     `json:"k"`
+	Parts           []int32 `json:"parts"`
+	CommVolume      int64   `json:"comm_volume"`
+	MigrationVolume int64   `json:"migration_volume"`
+	Moved           int     `json:"moved"`
+	RepartMs        float64 `json:"repart_ms"`
+	// Cached reports that the partition was served from the
+	// fingerprint-keyed result cache without running the partitioner.
+	Cached bool `json:"cached,omitempty"`
+	// Rebalanced is false only for only_if_unbalanced submissions whose
+	// drift was still within threshold (the epoch did not advance).
+	Rebalanced bool `json:"rebalanced"`
+}
+
+// SessionResponse is the body of POST /v1/sessions and of
+// POST /v1/sessions/{id}/epochs.
+type SessionResponse struct {
+	SessionID string     `json:"session_id"`
+	Result    WireResult `json:"result"`
+}
+
+// MigrationSummary condenses a migrate.Plan for the wire.
+type MigrationSummary struct {
+	Moves       int       `json:"moves"`
+	TotalVolume int64     `json:"total_volume"`
+	MaxOutbound int64     `json:"max_outbound"`
+	MaxInbound  int64     `json:"max_inbound"`
+	Volume      [][]int64 `json:"volume,omitempty"`
+}
+
+// PartitionResponse is the body of GET /v1/sessions/{id}/partition: the
+// current distribution plus the migration plan of the latest epoch (nil
+// before the first rebalance).
+type PartitionResponse struct {
+	SessionID string            `json:"session_id"`
+	Epoch     int64             `json:"epoch"`
+	K         int               `json:"k"`
+	Parts     []int32           `json:"parts"`
+	Migration *MigrationSummary `json:"migration,omitempty"`
+}
+
+// SessionInfo is the body of GET /v1/sessions/{id}.
+type SessionInfo struct {
+	SessionID  string     `json:"session_id"`
+	Config     WireConfig `json:"config"`
+	Epoch      int64      `json:"epoch"`
+	HistoryLen int        `json:"history_len"`
+	TotalCost  int64      `json:"total_cost"`
+	Last       WireResult `json:"last"`
+}
+
+// ErrorResponse is the body of every non-2xx response. Code is a stable
+// machine-readable discriminator: bad_request, not_found, epoch_conflict,
+// busy, draining, internal.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+	// Epoch carries the session's current epoch on epoch_conflict so the
+	// client can reconcile a retried submission.
+	Epoch int64 `json:"epoch,omitempty"`
+}
