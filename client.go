@@ -21,12 +21,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
 
+	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/obs"
 	"hyperbal/internal/server"
 )
@@ -37,6 +39,12 @@ var (
 	obsClientRequests = obs.Default().CounterVec("client_requests_total", "op")
 	obsClientRetries  = obs.Default().Counter("client_retries_total")
 	obsClientErrors   = obs.Default().Counter("client_errors_total")
+	// Request-body bytes per operation: the "epoch" vs "delta" split is the
+	// wire-savings measurement the delta-drift benchmark reports.
+	obsClientBytesSent = obs.Default().CounterVec("client_bytes_sent_total", "op")
+	// Delta submissions that fell back to a full epoch (409
+	// fingerprint_mismatch, or a transition the delta computation refused).
+	obsClientDeltaFallbacks = obs.Default().Counter("client_delta_fallbacks_total")
 )
 
 // ClientOptions tune the balancerd client's timeout/retry/backoff policy.
@@ -102,6 +110,9 @@ type RemoteResult struct {
 	// Rebalanced is false when an only-if-unbalanced submission was
 	// skipped because the drift was within threshold.
 	Rebalanced bool
+	// Warm reports the server warm-started the partitioner from the
+	// previous distribution (delta epochs submitted with warm=true).
+	Warm bool
 }
 
 func remoteResult(r server.WireResult) RemoteResult {
@@ -114,6 +125,7 @@ func remoteResult(r server.WireResult) RemoteResult {
 		RepartMs:        r.RepartMs,
 		Cached:          r.Cached,
 		Rebalanced:      r.Rebalanced,
+		Warm:            r.Warm,
 	}
 }
 
@@ -153,6 +165,7 @@ func (c *Client) do(ctx context.Context, op, method, path string, in, out any) (
 		if body, err = json.Marshal(in); err != nil {
 			return 0, err
 		}
+		obsClientBytesSent.With(op).Add(int64(len(body)))
 	}
 	backoff := c.opt.Backoff
 	for attempt := 0; ; attempt++ {
@@ -249,6 +262,11 @@ type RemoteSession struct {
 	ID string
 	// epoch mirrors the server-side epoch for conflict-checked submissions.
 	epoch int64
+	// baseH is the last hypergraph this client successfully submitted —
+	// the base SubmitEpochDelta computes deltas against. Nil after
+	// attaching to an existing session with Client.Session (the first
+	// delta submission then falls back to a full epoch).
+	baseH *Hypergraph
 }
 
 // CreateSession creates a server-side session: the server computes (or
@@ -262,7 +280,7 @@ func (c *Client) CreateSession(ctx context.Context, cfg BalancerConfig, h *Hyper
 	if _, err := c.do(ctx, "create", http.MethodPost, "/v1/sessions", req, &resp); err != nil {
 		return nil, RemoteResult{}, unwrapFinal(err)
 	}
-	return &RemoteSession{c: c, ID: resp.SessionID}, remoteResult(resp.Result), nil
+	return &RemoteSession{c: c, ID: resp.SessionID, baseH: h}, remoteResult(resp.Result), nil
 }
 
 // Session returns a handle for an existing server-side session id,
@@ -281,7 +299,7 @@ func (s *RemoteSession) SubmitEpoch(ctx context.Context, h *Hypergraph) (RemoteR
 	return s.submit(ctx, server.EpochRequest{
 		Hypergraph: server.EncodeHypergraph(h),
 		Epoch:      s.epoch + 1,
-	})
+	}, h)
 }
 
 // SubmitEpochInherited submits a structurally changed hypergraph with the
@@ -291,7 +309,7 @@ func (s *RemoteSession) SubmitEpochInherited(ctx context.Context, h *Hypergraph,
 		Hypergraph: server.EncodeHypergraph(h),
 		Inherited:  inherited.Parts,
 		Epoch:      s.epoch + 1,
-	})
+	}, h)
 }
 
 // SubmitEpochIfUnbalanced is SubmitEpoch with the server-side trigger: the
@@ -302,10 +320,57 @@ func (s *RemoteSession) SubmitEpochIfUnbalanced(ctx context.Context, h *Hypergra
 		Hypergraph:       server.EncodeHypergraph(h),
 		Epoch:            s.epoch + 1,
 		OnlyIfUnbalanced: true,
-	})
+	}, h)
 }
 
-func (s *RemoteSession) submit(ctx context.Context, req server.EpochRequest) (RemoteResult, error) {
+// SubmitEpochDelta submits a drifted hypergraph with an unchanged vertex
+// set as a delta against the last submitted hypergraph, falling back to a
+// full SubmitEpoch when no base is held, the transition is not
+// delta-able, or the server rejects the base fingerprint (409
+// fingerprint_mismatch — e.g. another client advanced the session). warm
+// asks the server to warm-start the repartition from the previous
+// distribution, restricted to the delta's dirty region.
+func (s *RemoteSession) SubmitEpochDelta(ctx context.Context, h *Hypergraph, warm bool) (RemoteResult, error) {
+	if s.baseH == nil {
+		obsClientDeltaFallbacks.Inc()
+		return s.SubmitEpoch(ctx, h)
+	}
+	d, ok := hypergraph.ComputeDelta(s.baseH, h)
+	if !ok {
+		obsClientDeltaFallbacks.Inc()
+		return s.SubmitEpoch(ctx, h)
+	}
+	return s.submitDelta(ctx, server.DeltaEpochRequest{
+		Delta: *d,
+		Epoch: s.epoch + 1,
+		Warm:  warm,
+	}, h, func() (RemoteResult, error) { return s.SubmitEpoch(ctx, h) })
+}
+
+// SubmitEpochDeltaMapped submits a structurally changed hypergraph as a
+// delta: vmap maps each new vertex to its base vertex (or -1 for created
+// vertices), inherited carries the assignment over the new vertex set.
+// Falls back to SubmitEpochInherited when the transition is not
+// delta-able or on a base fingerprint mismatch.
+func (s *RemoteSession) SubmitEpochDeltaMapped(ctx context.Context, h *Hypergraph, vmap []int32, inherited Partition, warm bool) (RemoteResult, error) {
+	if s.baseH == nil {
+		obsClientDeltaFallbacks.Inc()
+		return s.SubmitEpochInherited(ctx, h, inherited)
+	}
+	d, ok := hypergraph.ComputeDeltaMapped(s.baseH, h, vmap)
+	if !ok {
+		obsClientDeltaFallbacks.Inc()
+		return s.SubmitEpochInherited(ctx, h, inherited)
+	}
+	return s.submitDelta(ctx, server.DeltaEpochRequest{
+		Delta:     *d,
+		Inherited: inherited.Parts,
+		Epoch:     s.epoch + 1,
+		Warm:      warm,
+	}, h, func() (RemoteResult, error) { return s.SubmitEpochInherited(ctx, h, inherited) })
+}
+
+func (s *RemoteSession) submit(ctx context.Context, req server.EpochRequest, h *Hypergraph) (RemoteResult, error) {
 	var resp server.SessionResponse
 	status, err := s.c.do(ctx, "epoch", http.MethodPost, "/v1/sessions/"+s.ID+"/epochs", req, &resp)
 	if err != nil {
@@ -313,6 +378,7 @@ func (s *RemoteSession) submit(ctx context.Context, req server.EpochRequest) (Re
 			// A retried submission may have landed before its response was
 			// lost; reconcile against the server's view.
 			if res, rerr := s.reconcile(ctx, req.Epoch); rerr == nil {
+				s.baseH = h
 				return res, nil
 			}
 		}
@@ -321,6 +387,38 @@ func (s *RemoteSession) submit(ctx context.Context, req server.EpochRequest) (Re
 	res := remoteResult(resp.Result)
 	if res.Rebalanced {
 		s.epoch = res.Epoch
+		s.baseH = h
+	}
+	return res, nil
+}
+
+// submitDelta performs one PATCH epoch submission; full is the fallback
+// used on a base fingerprint mismatch.
+func (s *RemoteSession) submitDelta(ctx context.Context, req server.DeltaEpochRequest, h *Hypergraph, full func() (RemoteResult, error)) (RemoteResult, error) {
+	var resp server.SessionResponse
+	status, err := s.c.do(ctx, "delta", http.MethodPatch, "/v1/sessions/"+s.ID+"/epochs", req, &resp)
+	if err != nil {
+		if status == http.StatusConflict {
+			var apiErr *APIError
+			if errors.As(unwrapFinal(err), &apiErr) && apiErr.Code == "fingerprint_mismatch" {
+				// The session's base moved under us (or the server never
+				// held one): hard fallback to a full resync.
+				obsClientDeltaFallbacks.Inc()
+				return full()
+			}
+			// epoch_conflict: a retried submission may have landed before
+			// its response was lost; reconcile against the server's view.
+			if res, rerr := s.reconcile(ctx, req.Epoch); rerr == nil {
+				s.baseH = h
+				return res, nil
+			}
+		}
+		return RemoteResult{}, unwrapFinal(err)
+	}
+	res := remoteResult(resp.Result)
+	if res.Rebalanced {
+		s.epoch = res.Epoch
+		s.baseH = h
 	}
 	return res, nil
 }

@@ -23,6 +23,7 @@ import (
 	"hyperbal/internal/datasets"
 	"hyperbal/internal/dynamics"
 	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/obs"
 	"hyperbal/internal/partition"
 )
@@ -38,6 +39,7 @@ func main() {
 		method  = flag.String("method", "all", "Zoltan-repart | ParMETIS-repart | Zoltan-scratch | ParMETIS-scratch | all")
 		iters   = flag.Int("iters", 3, "actually executed iterations per epoch (traffic scales to alpha)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		warm    = flag.Bool("warm", false, "repartition each epoch via the delta/warm-start path (hypergraph repartitioning only; others run normally)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text, ?format=json) and /debug/pprof on this address")
 		metricsJSON = flag.String("metrics-json", "", `write a JSON metrics snapshot to this file on exit ("-" = stdout)`)
@@ -74,7 +76,7 @@ func main() {
 	fmt.Printf("%-18s %10s %10s %12s %10s %12s\n",
 		"method", "meas.comm", "meas.mig", "model t_tot", "repart", "mismatches")
 	for _, m := range methods {
-		runCampaign(g, m, *k, *alpha, *epochs, *iters, *dynamic, *seed)
+		runCampaign(g, m, *k, *alpha, *epochs, *iters, *dynamic, *seed, *warm)
 	}
 	fmt.Println("\nmeas.comm / meas.mig: words actually exchanged on the message-passing")
 	fmt.Println("substrate; 'mismatches' counts epochs where measured traffic differed")
@@ -85,7 +87,7 @@ func main() {
 	}
 }
 
-func runCampaign(g *graph.Graph, m core.Method, k int, alpha int64, epochs, iters int, dynamic string, seed int64) {
+func runCampaign(g *graph.Graph, m core.Method, k int, alpha int64, epochs, iters int, dynamic string, seed int64, warm bool) {
 	bal, err := core.NewBalancer(core.Config{K: k, Alpha: alpha, Seed: seed, Method: m})
 	check(err)
 	prob := core.Problem{G: g, H: graph.ToHypergraph(g)}
@@ -109,9 +111,40 @@ func runCampaign(g *graph.Graph, m core.Method, k int, alpha int64, epochs, iter
 	mismatches := 0
 	model := core.DefaultCostModel
 
+	// Warm mode rebuilds each epoch transition as a hypergraph delta and
+	// seeds the repartition from the inherited distribution plus the
+	// delta's dirty region.
+	base := prob.H
+	var prevIDs []int32
+	if warm {
+		prevIDs = make([]int32, g.NumVertices())
+		for i := range prevIDs {
+			prevIDs[i] = int32(i)
+		}
+	}
 	for e := 1; e <= epochs; e++ {
 		eprob, old := gen.Next()
-		res, err := bal.Repartition(eprob, old, int64(e))
+		var res core.Result
+		if warm {
+			var d *hypergraph.Delta
+			var ok bool
+			if st, isStruct := gen.(*dynamics.Structural); isStruct {
+				curIDs := st.AliveMap()
+				vmap := hypergraph.VertexMapFromIDs(prevIDs, curIDs)
+				d, ok = hypergraph.ComputeDeltaMapped(base, eprob.H, vmap)
+				prevIDs = append(prevIDs[:0], curIDs...)
+			} else {
+				d, ok = hypergraph.ComputeDelta(base, eprob.H)
+			}
+			var dirty []bool
+			if ok {
+				dirty = d.DirtyVertices(base, eprob.H)
+			}
+			res, err = bal.RepartitionWarm(eprob, old, int64(e), dirty)
+			base = eprob.H
+		} else {
+			res, err = bal.Repartition(eprob, old, int64(e))
+		}
 		check(err)
 		check(gen.Observe(res.Partition))
 

@@ -10,7 +10,14 @@
 //	loadgen -addr http://127.0.0.1:8080 [-sessions 100] [-epochs 3]
 //	        [-datasets xyce680s] [-n 1200] [-k 8] [-alpha 100]
 //	        [-dynamic weights|structure] [-distinct-seeds]
+//	        [-scenario delta-drift] [-warm]
 //	        [-bench-json BENCH_serve.json] [-check-schema schema.json]
+//
+// -scenario delta-drift submits every epoch as a PATCH delta against the
+// previous one instead of a full hypergraph; -warm additionally asks the
+// server to warm-start each repartition from the inherited distribution.
+// The bench snapshot then records wire bytes by op, the server's
+// delta-vs-full-resync byte estimate, and warm/cold repartition times.
 //
 // By default every session runs the identical workload (same seed), which
 // exercises the server's fingerprint-keyed partition cache: the first
@@ -36,6 +43,7 @@ import (
 	"hyperbal/internal/datasets"
 	"hyperbal/internal/dynamics"
 	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/obs"
 )
 
@@ -62,6 +70,8 @@ func main() {
 		method   = flag.String("method", "Zoltan-repart", "load-balancing method")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		distinct = flag.Bool("distinct-seeds", false, "give every session its own seed (defeats the partition cache)")
+		scenario = flag.String("scenario", "", "named scenario: delta-drift submits every epoch as a PATCH delta against the previous one")
+		warm     = flag.Bool("warm", false, "ask the server to warm-start delta epochs from the inherited distribution (delta-drift only)")
 
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 		retries = flag.Int("retries", 5, "max retries per request")
@@ -79,6 +89,19 @@ func main() {
 	names := strings.Split(*dsList, ",")
 	m, err := core.ParseMethod(*method)
 	check(err)
+	useDelta := false
+	switch *scenario {
+	case "":
+	case "delta-drift":
+		useDelta = true
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown scenario %q (have: delta-drift)\n", *scenario)
+		os.Exit(2)
+	}
+	if *warm && !useDelta {
+		fmt.Fprintln(os.Stderr, "loadgen: -warm requires -scenario delta-drift")
+		os.Exit(2)
+	}
 
 	client := hyperbal.NewClient(*addr, hyperbal.ClientOptions{
 		RequestTimeout: *timeout,
@@ -97,7 +120,7 @@ func main() {
 				sseed += int64(i)
 			}
 			name := names[i%len(names)]
-			if err := runSession(client, name, *n, *k, *alpha, m, *dynamic, sseed, *epochs); err != nil {
+			if err := runSession(client, name, *n, *k, *alpha, m, *dynamic, sseed, *epochs, useDelta, *warm); err != nil {
 				failures.Add(1)
 				fmt.Fprintf(os.Stderr, "loadgen: session %d (%s): %v\n", i, name, err)
 			}
@@ -121,6 +144,30 @@ func main() {
 	snap, serverHitRate := fetchServerMetrics(*addr)
 	if serverHitRate >= 0 {
 		fmt.Printf("  server cache     %.1f%% hit rate\n", 100*serverHitRate)
+	}
+	epochWire := labeledCounter("client_bytes_sent_total", "op", "epoch")
+	deltaWire := labeledCounter("client_bytes_sent_total", "op", "delta")
+	deltaFallbacks := snapshotCounter("client_delta_fallbacks_total")
+	var serverDeltaBytes, serverDeltaFullEst int64
+	var warmAvgMs, coldAvgMs float64
+	if snap != nil {
+		serverDeltaBytes = snap.Counters["server_delta_bytes_total"]
+		serverDeltaFullEst = snap.Counters["server_delta_full_bytes_estimated_total"]
+		warmAvgMs = histAvgMs(snap.Histograms["server_epoch_warm_ns"])
+		coldAvgMs = histAvgMs(snap.Histograms["server_epoch_cold_ns"])
+	}
+	if useDelta {
+		fmt.Printf("  delta wire       %d B sent as deltas, %d B as full epochs, %d fallbacks\n",
+			deltaWire, epochWire, deltaFallbacks)
+		if serverDeltaFullEst > 0 {
+			fmt.Printf("  server wire      %d B received vs ~%d B full-resync equivalent (%.1f%% saved)\n",
+				serverDeltaBytes, serverDeltaFullEst,
+				100*(1-float64(serverDeltaBytes)/float64(serverDeltaFullEst)))
+		}
+		if warmAvgMs > 0 && coldAvgMs > 0 {
+			fmt.Printf("  server repart    warm %.2f ms avg vs cold %.2f ms avg (%.2fx)\n",
+				warmAvgMs, coldAvgMs, coldAvgMs/warmAvgMs)
+		}
 	}
 	if *checkSchema != "" {
 		if snap == nil {
@@ -146,9 +193,18 @@ func main() {
 			ThroughputOps: float64(ok) / elapsed.Seconds(),
 			CreateP50Ms:   ms(lgCreateNs.Quantile(0.50)), CreateP99Ms: ms(lgCreateNs.Quantile(0.99)),
 			EpochP50Ms: ms(lgEpochNs.Quantile(0.50)), EpochP99Ms: ms(lgEpochNs.Quantile(0.99)),
-			ClientCachedFrac:   frac(lgCached.Load(), ok),
-			ServerCacheHitRate: serverHitRate,
-			Retries:            snapshotCounter("client_retries_total"),
+			ClientCachedFrac:     frac(lgCached.Load(), ok),
+			ServerCacheHitRate:   serverHitRate,
+			Retries:              snapshotCounter("client_retries_total"),
+			Scenario:             *scenario,
+			Warm:                 *warm,
+			ClientEpochWireBytes: epochWire,
+			ClientDeltaWireBytes: deltaWire,
+			ClientDeltaFallbacks: deltaFallbacks,
+			ServerDeltaBytes:     serverDeltaBytes,
+			ServerDeltaFullEst:   serverDeltaFullEst,
+			ServerWarmAvgMs:      warmAvgMs,
+			ServerColdAvgMs:      coldAvgMs,
 		}))
 		fmt.Printf("  bench snapshot   appended to %s\n", *benchJSON)
 	}
@@ -160,8 +216,12 @@ func main() {
 	fmt.Println("loadgen: all epochs served (zero dropped)")
 }
 
-// runSession drives one full session lifecycle against the server.
-func runSession(client *hyperbal.Client, dataset string, n, k int, alpha int64, m core.Method, dynamic string, seed int64, epochs int) error {
+// runSession drives one full session lifecycle against the server. With
+// useDelta it submits every epoch as a PATCH delta against the previous
+// hypergraph (the client falls back to full submissions transparently);
+// warm additionally asks the server to warm-start from the inherited
+// distribution.
+func runSession(client *hyperbal.Client, dataset string, n, k int, alpha int64, m core.Method, dynamic string, seed int64, epochs int, useDelta, warm bool) error {
 	ctx := context.Background()
 	g, err := datasets.Generate(dataset, n, seed)
 	if err != nil {
@@ -195,13 +255,33 @@ func runSession(client *hyperbal.Client, dataset string, n, k int, alpha int64, 
 		return err
 	}
 
+	// prevIDs tracks the stable vertex ids of the last submitted epoch so
+	// structural deltas can translate the base vertex space; epoch 0 is the
+	// identity (every generator vertex alive, in order).
+	var prevIDs []int32
+	if useDelta && dynamic == "structure" {
+		prevIDs = make([]int32, g.NumVertices())
+		for i := range prevIDs {
+			prevIDs[i] = int32(i)
+		}
+	}
+
 	for e := 1; e <= epochs; e++ {
 		prob, old := gen.Next()
 		t := time.Now()
 		var res hyperbal.RemoteResult
-		if prob.H.NumVertices() != len(first.Partition.Parts) || dynamic == "structure" {
+		switch {
+		case useDelta && dynamic == "structure":
+			st := gen.(*dynamics.Structural)
+			curIDs := st.AliveMap()
+			vmap := hypergraph.VertexMapFromIDs(prevIDs, curIDs)
+			prevIDs = append(prevIDs[:0], curIDs...)
+			res, err = sess.SubmitEpochDeltaMapped(ctx, prob.H, vmap, old, warm)
+		case useDelta:
+			res, err = sess.SubmitEpochDelta(ctx, prob.H, warm)
+		case prob.H.NumVertices() != len(first.Partition.Parts) || dynamic == "structure":
 			res, err = sess.SubmitEpochInherited(ctx, prob.H, old)
-		} else {
+		default:
 			res, err = sess.SubmitEpoch(ctx, prob.H)
 		}
 		if err != nil {
@@ -245,6 +325,20 @@ func snapshotCounter(name string) int64 {
 	return obs.Default().Counter(name).Load()
 }
 
+// labeledCounter reads one labeled counter from the local registry.
+func labeledCounter(name, label, value string) int64 {
+	return obs.Default().Counter(name, label, value).Load()
+}
+
+// histAvgMs derives the mean sample in milliseconds from a histogram
+// snapshot (0 when empty).
+func histAvgMs(h obs.HistogramSnapshot) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count) / 1e6
+}
+
 func ms(ns int64) float64 { return float64(ns) / 1e6 }
 
 func frac(a, b int64) float64 {
@@ -281,7 +375,21 @@ type benchSnapshot struct {
 	ClientCachedFrac   float64 `json:"client_cached_frac"`
 	ServerCacheHitRate float64 `json:"server_cache_hit_rate"`
 	Retries            int64   `json:"retries"`
-	Notes              string  `json:"notes,omitempty"`
+
+	// Delta-drift scenario accounting. Wire bytes are split by submission
+	// op: "delta" is PATCH delta traffic, "epoch" full POST bodies (create
+	// excluded from both). Server counters are cumulative since server
+	// start; benchmarks run loadgen against a freshly started balancerd.
+	Scenario             string  `json:"scenario,omitempty"`
+	Warm                 bool    `json:"warm,omitempty"`
+	ClientEpochWireBytes int64   `json:"client_epoch_wire_bytes,omitempty"`
+	ClientDeltaWireBytes int64   `json:"client_delta_wire_bytes,omitempty"`
+	ClientDeltaFallbacks int64   `json:"client_delta_fallbacks,omitempty"`
+	ServerDeltaBytes     int64   `json:"server_delta_bytes,omitempty"`
+	ServerDeltaFullEst   int64   `json:"server_delta_full_bytes_est,omitempty"`
+	ServerWarmAvgMs      float64 `json:"server_warm_avg_ms,omitempty"`
+	ServerColdAvgMs      float64 `json:"server_cold_avg_ms,omitempty"`
+	Notes                string  `json:"notes,omitempty"`
 }
 
 type benchFile struct {

@@ -41,6 +41,7 @@ func main() {
 		epochs      = flag.Int("epochs", 3, "repartitioning epochs per trial")
 		scale       = flag.Int("scale", 0, "vertex count override (0 = dataset default)")
 		seed        = flag.Int64("seed", 1, "base random seed")
+		warm        = flag.Bool("warm", false, "repartition each epoch via the delta/warm-start path (hypergraph repartitioning only; others run normally)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for the sweep (0 = GOMAXPROCS; results identical for every value)")
 		benchJSON   = flag.String("bench-json", "", "run the tracked benchmark suite and append a snapshot to this JSON file")
 		benchLabel  = flag.String("bench-label", "current", "label for the -bench-json snapshot")
@@ -85,7 +86,7 @@ func main() {
 
 	base := harness.Config{
 		Procs: ps, Alphas: as, Trials: *trials, Epochs: *epochs,
-		Seed: *seed, ScaleV: *scale, Parallelism: *parallelism,
+		Seed: *seed, ScaleV: *scale, Parallelism: *parallelism, Warm: *warm,
 	}
 
 	switch {

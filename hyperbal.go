@@ -434,6 +434,32 @@ func NewServer(cfg ServeConfig) *Server { return server.New(cfg) }
 // submissions without re-partitioning.
 func HypergraphFingerprint(h *Hypergraph) string { return h.Fingerprint() }
 
+// ---- Delta epochs ----
+
+// HypergraphDelta is the versioned wire form of an epoch transition:
+// vertex/net add/remove plus sparse weight/size/cost updates, applied
+// against the previous epoch's fingerprint. Apply/Digest/DirtyVertices
+// are methods on the type; RemoteSession.SubmitEpochDelta uses it to cut
+// epoch wire bytes and warm-start the server-side repartition.
+type HypergraphDelta = hypergraph.Delta
+
+// ErrDeltaBaseMismatch is returned by HypergraphDelta.Apply when the base
+// fingerprint disagrees — the signal to fall back to a full resync.
+var ErrDeltaBaseMismatch = hypergraph.ErrBaseMismatch
+
+// ComputeHypergraphDelta derives the delta from base to next over an
+// unchanged vertex set (false when the transition is not delta-able).
+func ComputeHypergraphDelta(base, next *Hypergraph) (*HypergraphDelta, bool) {
+	return hypergraph.ComputeDelta(base, next)
+}
+
+// ComputeHypergraphDeltaMapped derives the delta for a structural
+// transition: vmap[i] is the base vertex that became next's vertex i, or
+// -1 for a created vertex.
+func ComputeHypergraphDeltaMapped(base, next *Hypergraph, vmap []int32) (*HypergraphDelta, bool) {
+	return hypergraph.ComputeDeltaMapped(base, next, vmap)
+}
+
 // The Client for a remote balancerd (with timeout/retry/backoff) lives in
 // client.go: NewClient, Client, RemoteSession, RemoteResult.
 

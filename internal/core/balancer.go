@@ -130,6 +130,9 @@ type Result struct {
 	Moved int
 	// RepartTime is the wall-clock time of the load-balance operation.
 	RepartTime time.Duration
+	// Warm reports that the partitioner was warm-started from the previous
+	// distribution (RepartitionWarm with a method that supports it).
+	Warm bool
 }
 
 // TotalCost returns α·comm + mig, the objective of Section 2.
@@ -233,6 +236,65 @@ func (b *Balancer) Repartition(p Problem, old partition.Partition, epoch int64) 
 		RepartTime:      time.Since(start),
 	}
 	method := b.cfg.Method.String()
+	obsRepartitions.With(method).Inc()
+	obsRepartNs.With(method).Observe(int64(res.RepartTime))
+	obsCommVolume.With(method).Add(res.CommVolume)
+	obsMigVolume.With(method).Add(res.MigrationVolume)
+	return res, nil
+}
+
+// RepartitionWarm rebalances like Repartition but warm-starts the
+// partitioner from the previous assignment, restricting work to the dirty
+// region when one is given (nil dirty = everything changed; the seeded
+// V-cycle still skips the from-scratch coarse solve). Only the
+// hypergraph-repartitioning method can honor a warm start — it seeds the
+// augmented hypergraph H̄ with the inherited parts — so every other method
+// falls back to the cold Repartition path; check Result.Warm to see which
+// path ran. Warm results are deterministic at every Config.Parallelism.
+func (b *Balancer) RepartitionWarm(p Problem, old partition.Partition, epoch int64, dirty []bool) (Result, error) {
+	if b.cfg.Method != HypergraphRepart {
+		res, err := b.Repartition(p, old, epoch)
+		if err == nil {
+			obsWarmReparts.With("cold").Inc()
+		}
+		return res, err
+	}
+	start := time.Now()
+	r, err := BuildRepartition(p.H, old, b.cfg.K, b.cfg.Alpha)
+	if err != nil {
+		return Result{}, err
+	}
+	// Inherited assignment in the augmented vertex space: real vertices
+	// keep their old parts, partition vertices sit on their fixed parts.
+	n := p.H.NumVertices()
+	augParts := make([]int32, n+b.cfg.K)
+	copy(augParts, old.Parts)
+	for i := 0; i < b.cfg.K; i++ {
+		augParts[n+i] = int32(i)
+	}
+	var augDirty []bool
+	if dirty != nil {
+		augDirty = make([]bool, n+b.cfg.K)
+		copy(augDirty, dirty)
+	}
+	aug, _, err := hgp.PartitionWarm(r.H, b.hgpOptions(epoch), hgp.WarmSpec{Parts: augParts, Dirty: augDirty})
+	if err != nil {
+		return Result{}, err
+	}
+	newP, mig, err := r.Decode(p.H, aug)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Partition:       newP,
+		CommVolume:      partition.CutSize(p.H, newP),
+		MigrationVolume: mig.Volume,
+		Moved:           mig.Moved,
+		RepartTime:      time.Since(start),
+		Warm:            true,
+	}
+	method := b.cfg.Method.String()
+	obsWarmReparts.With("warm").Inc()
 	obsRepartitions.With(method).Inc()
 	obsRepartNs.With(method).Observe(int64(res.RepartTime))
 	obsCommVolume.With(method).Add(res.CommVolume)

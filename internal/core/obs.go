@@ -16,4 +16,8 @@ var (
 	obsRebalanceYes  = obs.Default().Counter("core_rebalance_decisions_true_total")
 	obsRebalanceNo   = obs.Default().Counter("core_rebalance_decisions_false_total")
 	obsSessionCost   = obs.Default().Counter("core_session_cost_total")
+
+	// Warm-started repartitions, split by whether the method could honor
+	// the warm request ("warm") or silently fell back to cold ("cold").
+	obsWarmReparts = obs.Default().CounterVec("core_warm_repartitions_total", "path")
 )

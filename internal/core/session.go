@@ -147,6 +147,33 @@ func (s *Session) RebalanceInherited(p Problem, inherited partition.Partition) (
 	return s.rebalance(p, inherited)
 }
 
+// RebalanceWarm is Rebalance with a warm-started partitioner: the epoch's
+// solve is seeded from the session's current distribution and, when dirty
+// is non-nil (e.g. from hypergraph.Delta.DirtyVertices), restricted to the
+// dirty region. Methods without warm support fall back to the cold path;
+// see Balancer.RepartitionWarm.
+func (s *Session) RebalanceWarm(p Problem, dirty []bool) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.H.NumVertices() != len(s.cur.Parts) {
+		return Result{}, fmt.Errorf("core: vertex set changed (%d -> %d); use RebalanceWarmInherited with the epoch's inherited partition",
+			len(s.cur.Parts), p.H.NumVertices())
+	}
+	return s.rebalanceWarm(p, s.cur, dirty)
+}
+
+// RebalanceWarmInherited is RebalanceInherited with a warm-started
+// partitioner seeded from the given inherited assignment.
+func (s *Session) RebalanceWarmInherited(p Problem, inherited partition.Partition, dirty []bool) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(inherited.Parts) != p.H.NumVertices() {
+		return Result{}, fmt.Errorf("core: inherited partition covers %d vertices, problem has %d",
+			len(inherited.Parts), p.H.NumVertices())
+	}
+	return s.rebalanceWarm(p, inherited, dirty)
+}
+
 // Adopt installs a previously computed rebalance result as the next epoch
 // without running the partitioner — the cache-hit path of a serving layer.
 // The result must be exactly what Rebalance would have produced for the
@@ -171,11 +198,29 @@ func (s *Session) rebalance(p Problem, old partition.Partition) (Result, error) 
 		s.epoch--
 		return Result{}, err
 	}
+	s.install(res)
+	return res, nil
+}
+
+// rebalanceWarm runs with s.mu held.
+func (s *Session) rebalanceWarm(p Problem, old partition.Partition, dirty []bool) (Result, error) {
+	s.epoch++
+	res, err := s.bal.RepartitionWarm(p, old, s.epoch, dirty)
+	if err != nil {
+		s.epoch--
+		return Result{}, err
+	}
+	s.install(res)
+	return res, nil
+}
+
+// install records a completed epoch result (s.mu held, epoch already
+// advanced).
+func (s *Session) install(res Result) {
 	s.cur = res.Partition.Clone()
 	s.History = append(s.History, res)
 	obsSessionEpochs.Inc()
 	obsSessionCost.Add(res.TotalCost(s.bal.Config().Alpha))
-	return res, nil
 }
 
 // TotalCost sums α·comm + mig over the session's history (the objective

@@ -133,6 +133,14 @@ func (s *Structural) Next() (core.Problem, partition.Partition) {
 	return core.Problem{G: g, H: graph.ToHypergraph(g)}, inherited
 }
 
+// AliveMap returns the current epoch's vertex correspondence: entry i is
+// the original-graph vertex that became epoch vertex i. Valid after Next;
+// the slice is reused by the next Next call. Clients computing deltas
+// between consecutive epochs translate it into a base→successor vertex
+// map (two epochs' alive lists share original ids for surviving
+// vertices, and both are sorted by original id).
+func (s *Structural) AliveMap() []int32 { return s.alive }
+
 // Observe records the epoch's computed partition back onto the original
 // vertex numbering.
 func (s *Structural) Observe(p partition.Partition) error {

@@ -17,6 +17,7 @@ import (
 	"hyperbal/internal/datasets"
 	"hyperbal/internal/dynamics"
 	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/partition"
 )
 
@@ -45,6 +46,12 @@ type Config struct {
 	// method, trial) cells. Every value produces identical reports; 1
 	// forces the serial sweep. Default runtime.GOMAXPROCS(0).
 	Parallelism int
+	// Warm repartitions each epoch via the delta/warm-start path: the
+	// epoch transition is expressed as a hypergraph delta, its dirty
+	// region seeds core.Balancer.RepartitionWarm. Only the hypergraph
+	// repartitioning method takes a distinct path; the others fall back to
+	// their normal repartition internally.
+	Warm bool
 }
 
 func (c Config) withDefaults() Config {
@@ -270,9 +277,40 @@ func runSequence(cfg Config, g *graph.Graph, procs int, alpha int64, m core.Meth
 	}
 	obsCells.Inc()
 	method := m.String()
+	// Warm mode expresses each transition as a delta against the previous
+	// epoch's hypergraph; prevIDs tracks stable vertex ids for the
+	// structural dynamic's vertex-space translation.
+	base := prob.H
+	var prevIDs []int32
+	if cfg.Warm {
+		prevIDs = make([]int32, g.NumVertices())
+		for i := range prevIDs {
+			prevIDs[i] = int32(i)
+		}
+	}
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
 		eprob, old := gen.Next()
-		res, err := bal.Repartition(eprob, old, int64(epoch))
+		var res core.Result
+		if cfg.Warm {
+			var d *hypergraph.Delta
+			var ok bool
+			if st, isStruct := gen.(*dynamics.Structural); isStruct {
+				curIDs := st.AliveMap()
+				vmap := hypergraph.VertexMapFromIDs(prevIDs, curIDs)
+				d, ok = hypergraph.ComputeDeltaMapped(base, eprob.H, vmap)
+				prevIDs = append(prevIDs[:0], curIDs...)
+			} else {
+				d, ok = hypergraph.ComputeDelta(base, eprob.H)
+			}
+			var dirty []bool
+			if ok {
+				dirty = d.DirtyVertices(base, eprob.H)
+			}
+			res, err = bal.RepartitionWarm(eprob, old, int64(epoch), dirty)
+			base = eprob.H
+		} else {
+			res, err = bal.Repartition(eprob, old, int64(epoch))
+		}
 		if err != nil {
 			return err
 		}

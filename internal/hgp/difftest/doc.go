@@ -1,0 +1,16 @@
+// Package difftest is the differential equivalence harness for delta
+// epochs and warm-started repartitioning: it drives both dynamic-workload
+// generators over every dataset analogue and cross-checks the incremental
+// path against the from-scratch path —
+//
+//   - a delta-applied hypergraph chain must stay byte-identical
+//     (fingerprint and text serialization) to the hypergraphs the
+//     generator builds from scratch, epoch after epoch;
+//   - warm-started partitions must satisfy the cold path's balance
+//     constraint and land within a fixed cut tolerance of the cold
+//     partitioner on the same hypergraph;
+//   - the warm pipeline must be byte-deterministic at any Parallelism.
+//
+// The package contains only tests; it exists so the whole harness can be
+// invoked as one unit (go test ./internal/hgp/difftest/).
+package difftest

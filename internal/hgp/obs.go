@@ -33,4 +33,12 @@ var (
 
 	// Cut of the last completed Partition call, after refinement.
 	obsFinalCut = obs.Default().Gauge("hgp_final_cut")
+
+	// Warm-start path: calls by mode (localized / vcycle / trivial), the
+	// dirty fraction of each call in permille, and the wall time of the
+	// whole warm partition (the cold analogue is the sum of the stage
+	// timers above).
+	obsWarmPartitions    = obs.Default().CounterVec("hgp_warm_partitions_total", "mode")
+	obsWarmDirtyPermille = obs.Default().Histogram("hgp_warm_dirty_permille", obs.LinBounds(50, 50, 20))
+	obsWarmNs            = obs.Default().Histogram("hgp_warm_partition_ns", obs.DurationBounds)
 )

@@ -1,0 +1,75 @@
+package hypergraph
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDeltaApply drives the delta pipeline two ways from one input:
+//
+//  1. Trusted path: derive a random base and a chain of random successor
+//     hypergraphs from (seed, steps), compute the delta for each hop with
+//     ComputeDeltaMapped, apply it, and assert the applied result is
+//     fingerprint-identical to the from-scratch rebuild with all CSR
+//     invariants intact (Validate).
+//  2. Hostile path: decode `raw` as a JSON delta and apply it against the
+//     chain's final hypergraph — it must either fail cleanly or yield a
+//     hypergraph that passes Validate; it must never panic or produce a
+//     structurally broken CSR.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add(int64(1), uint8(1), []byte(`{}`))
+	f.Add(int64(7), uint8(4), []byte(`{"v":1,"base":"x"}`))
+	f.Add(int64(42), uint8(8), []byte(`{"v":1,"weight_ids":[0],"weight_vals":[5]}`))
+	f.Add(int64(3), uint8(2), []byte(`{"v":1,"vertex_map":[1,0,-1],"net_map":[-1],"new_net_pins":[[0,2]],"new_net_costs":[2]}`))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint8, raw []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 4 + rng.Intn(30)
+		nn := 2 + rng.Intn(40)
+		cur := randomHypergraph(rng, nv, nn)
+		if err := cur.Validate(); err != nil {
+			t.Fatalf("random base invalid: %v", err)
+		}
+		for i := 0; i < int(steps%8); i++ {
+			next := mutateHypergraph(rng, cur)
+			d, ok := ComputeDeltaMapped(cur, next, lastVmap)
+			if !ok {
+				t.Fatalf("step %d: ComputeDeltaMapped refused its own mutation", i)
+			}
+			// The delta must survive its wire form.
+			data, err := json.Marshal(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dw Delta
+			if err := json.Unmarshal(data, &dw); err != nil {
+				t.Fatal(err)
+			}
+			got, err := dw.Apply(cur)
+			if err != nil {
+				t.Fatalf("step %d: apply: %v", i, err)
+			}
+			if got.Fingerprint() != next.Fingerprint() {
+				t.Fatalf("step %d: applied fingerprint != rebuilt fingerprint", i)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("step %d: applied hypergraph invalid: %v", i, err)
+			}
+			cur = got
+		}
+
+		// Hostile delta: arbitrary JSON against the current base.
+		var hostile Delta
+		if err := json.Unmarshal(raw, &hostile); err != nil {
+			return
+		}
+		hostile.Base = cur.Fingerprint() // get past the fingerprint gate
+		got, err := hostile.Apply(cur)
+		if err != nil {
+			return // clean rejection is fine
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("hostile delta produced invalid hypergraph: %v\ndelta: %s", err, raw)
+		}
+	})
+}

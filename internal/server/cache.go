@@ -44,13 +44,17 @@ func newPartitionCache(max int) *partitionCache {
 
 // cacheKey derives the cache key for partitioning `fp` at `epoch` under
 // cfg given the previous distribution (zero-value partition for the
-// epoch-0 static partitioning).
-func cacheKey(cfg core.Config, epoch int64, fp string, old partition.Partition) string {
+// epoch-0 static partitioning). warm is "" for the cold path — a
+// cold-applied delta epoch produces the exact result a full submission of
+// the same hypergraph would, so the two share cache entries — and
+// "warm:"+delta.Digest() for warm-started delta epochs, whose result
+// additionally depends on the delta's dirty region.
+func cacheKey(cfg core.Config, epoch int64, fp string, old partition.Partition, warm string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "k=%d a=%d eps=%g seed=%d m=%d mc=%d ct=%d is=%d rp=%d epoch=%d oldk=%d fp=%s;",
+	fmt.Fprintf(h, "k=%d a=%d eps=%g seed=%d m=%d mc=%d ct=%d is=%d rp=%d epoch=%d oldk=%d fp=%s warm=%s;",
 		cfg.K, cfg.Alpha, cfg.Imbalance, cfg.Seed, cfg.Method,
 		cfg.MaxClique, cfg.CoarsenTo, cfg.InitialStarts, cfg.RefinePasses,
-		epoch, old.K, fp)
+		epoch, old.K, fp, warm)
 	var buf [4]byte
 	for _, p := range old.Parts {
 		binary.LittleEndian.PutUint32(buf[:], uint32(p))

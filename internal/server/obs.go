@@ -28,4 +28,16 @@ var (
 	obsEpochs       = obs.Default().Counter("server_epochs_total")
 	obsEpochSkipped = obs.Default().Counter("server_epochs_skipped_total")
 	obsFaultDelayNs = obs.Default().Histogram("server_fault_delay_ns", obs.DurationBounds)
+
+	// Delta epochs: accepted PATCH submissions, 409 fingerprint mismatches
+	// (client falls back to a full epoch), wire bytes actually received vs
+	// the estimated full-epoch body those bytes replaced, the dirty-region
+	// fraction per delta, and partitioning wall time split warm vs cold.
+	obsDeltaEpochs        = obs.Default().Counter("server_delta_epochs_total")
+	obsDeltaMismatches    = obs.Default().Counter("server_delta_fingerprint_mismatches_total")
+	obsDeltaBytes         = obs.Default().Counter("server_delta_bytes_total")
+	obsDeltaFullBytesEst  = obs.Default().Counter("server_delta_full_bytes_estimated_total")
+	obsDeltaDirtyPermille = obs.Default().Histogram("server_delta_dirty_permille", obs.LinBounds(50, 50, 20))
+	obsEpochWarmNs        = obs.Default().Histogram("server_epoch_warm_ns", obs.DurationBounds)
+	obsEpochColdNs        = obs.Default().Histogram("server_epoch_cold_ns", obs.DurationBounds)
 )

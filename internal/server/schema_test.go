@@ -31,6 +31,10 @@ func TestMetricsSchema(t *testing.T) {
 	if _, err := sess.SubmitEpoch(ctx, h); err != nil {
 		t.Fatal(err)
 	}
+	// One warm delta epoch so the server_delta_* families carry samples.
+	if _, err := sess.SubmitEpochDelta(ctx, reweighted(h, 3), true); err != nil {
+		t.Fatal(err)
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {

@@ -117,6 +117,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
 	mux.HandleFunc("GET /v1/sessions/{id}", s.route("info", s.handleInfo))
 	mux.HandleFunc("POST /v1/sessions/{id}/epochs", s.route("epoch", s.handleEpoch))
+	mux.HandleFunc("PATCH /v1/sessions/{id}/epochs", s.route("delta", s.handleDeltaEpoch))
 	mux.HandleFunc("GET /v1/sessions/{id}/partition", s.route("partition", s.handlePartition))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
 	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
@@ -260,7 +261,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	eff := bal.Config()
-	key := cacheKey(eff, 0, h.Fingerprint(), partition.Partition{})
+	key := cacheKey(eff, 0, h.Fingerprint(), partition.Partition{}, "")
 	var (
 		sess   *core.Session
 		res    core.Result
@@ -278,7 +279,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(key, res)
 	}
 
-	entry := &session{id: newSessionID(), cfg: eff, sess: sess}
+	entry := &session{id: newSessionID(), cfg: eff, sess: sess, baseH: h, baseFP: h.Fingerprint()}
 	s.store.add(entry)
 	obsSessionsCreated.Inc()
 	s.cfg.Logf("server: session %s created (k=%d method=%s |V|=%d cached=%v)",
@@ -372,12 +373,14 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	key := cacheKey(entry.cfg, epoch+1, h.Fingerprint(), inherited)
+	fp := h.Fingerprint()
+	key := cacheKey(entry.cfg, epoch+1, fp, inherited, "")
 	res, cached := s.cache.get(key)
 	if cached {
 		entry.sess.Adopt(res)
 	} else {
 		s.faultDelay(int64(obsEpochs.Load() + 1))
+		start := time.Now()
 		if structural || len(req.Inherited) > 0 {
 			res, err = entry.sess.RebalanceInherited(core.Problem{H: h}, inherited)
 		} else {
@@ -387,15 +390,194 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "internal", err.Error())
 			return
 		}
+		obsEpochColdNs.ObserveSince(start)
 		s.cache.put(key, res)
 	}
 	obsEpochs.Inc()
+	entry.baseH, entry.baseFP = h, fp
 
 	entry.lastMig = migrationSummary(h, inherited, res.Partition)
 	writeJSON(w, http.StatusOK, SessionResponse{
 		SessionID: entry.id,
 		Result:    wireResult(entry.sess.Epoch(), res, cached, true),
 	})
+}
+
+// handleDeltaEpoch is the PATCH-style epoch submission: the epoch's
+// hypergraph arrives as a delta against the session's last accepted
+// hypergraph, keyed by base fingerprint. A base mismatch (the session
+// advanced since the client computed the delta, or the server lost the
+// base) is a 409 "fingerprint_mismatch" carrying the current base — the
+// client's hard signal to fall back to a full epoch submission.
+func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
+	entry := s.store.get(r.PathValue("id"))
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		return
+	}
+	var req DeltaEpochRequest
+	bodyBytes := r.ContentLength
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	defer entry.touch()
+
+	epoch := entry.sess.Epoch()
+	if req.Epoch > 0 && req.Epoch != epoch+1 {
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("expected epoch %d, session is at %d", req.Epoch, epoch),
+			Code:  "epoch_conflict",
+			Epoch: epoch,
+			Base:  entry.baseFP,
+		})
+		return
+	}
+	if entry.baseH == nil || req.Delta.Base != entry.baseFP {
+		obsDeltaMismatches.Inc()
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("delta base %s does not match session base %s; resubmit a full epoch", req.Delta.Base, entry.baseFP),
+			Code:  "fingerprint_mismatch",
+			Epoch: epoch,
+			Base:  entry.baseFP,
+		})
+		return
+	}
+	h, err := req.Delta.Apply(entry.baseH)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "delta: "+err.Error())
+		return
+	}
+	fp := h.Fingerprint()
+
+	old := entry.sess.Current()
+	structural := h.NumVertices() != len(old.Parts)
+	inherited := old
+	if len(req.Inherited) > 0 {
+		if len(req.Inherited) != h.NumVertices() {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf(
+				"inherited covers %d vertices, delta result has %d", len(req.Inherited), h.NumVertices()))
+			return
+		}
+		for v, p := range req.Inherited {
+			if p < 0 || int(p) >= entry.cfg.K {
+				writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf(
+					"inherited[%d] = %d out of range [0,%d)", v, p, entry.cfg.K))
+				return
+			}
+		}
+		inherited = partition.Partition{Parts: req.Inherited, K: entry.cfg.K}
+	} else if structural {
+		// Derive the inherited assignment from the delta's vertex map:
+		// mapped vertices keep their parts; new vertices go to the
+		// currently lightest part (deterministic: ties break low).
+		inherited = deriveInherited(h, old, &req.Delta, entry.cfg.K)
+	}
+
+	var dirty []bool
+	warmKey := ""
+	if req.Warm {
+		dirty = req.Delta.DirtyVertices(entry.baseH, h)
+		warmKey = "warm:" + req.Delta.Digest()
+		d := 0
+		for _, b := range dirty {
+			if b {
+				d++
+			}
+		}
+		if n := h.NumVertices(); n > 0 {
+			obsDeltaDirtyPermille.Observe(int64(d * 1000 / n))
+		}
+	}
+
+	key := cacheKey(entry.cfg, epoch+1, fp, inherited, warmKey)
+	res, cached := s.cache.get(key)
+	if cached {
+		entry.sess.Adopt(res)
+	} else {
+		s.faultDelay(int64(obsEpochs.Load() + 1))
+		start := time.Now()
+		switch {
+		case req.Warm && (structural || len(req.Inherited) > 0):
+			res, err = entry.sess.RebalanceWarmInherited(core.Problem{H: h}, inherited, dirty)
+		case req.Warm:
+			res, err = entry.sess.RebalanceWarm(core.Problem{H: h}, dirty)
+		case structural || len(req.Inherited) > 0:
+			res, err = entry.sess.RebalanceInherited(core.Problem{H: h}, inherited)
+		default:
+			res, err = entry.sess.Rebalance(core.Problem{H: h})
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		if req.Warm {
+			obsEpochWarmNs.ObserveSince(start)
+		} else {
+			obsEpochColdNs.ObserveSince(start)
+		}
+		s.cache.put(key, res)
+	}
+	obsEpochs.Inc()
+	obsDeltaEpochs.Inc()
+	if bodyBytes > 0 {
+		obsDeltaBytes.Add(bodyBytes)
+	}
+	obsDeltaFullBytesEst.Add(fullWireEstimate(h))
+	entry.baseH, entry.baseFP = h, fp
+
+	entry.lastMig = migrationSummary(h, inherited, res.Partition)
+	wr := wireResult(entry.sess.Epoch(), res, cached, true)
+	wr.Warm = res.Warm
+	writeJSON(w, http.StatusOK, SessionResponse{SessionID: entry.id, Result: wr})
+}
+
+// deriveInherited maps the previous distribution through a structural
+// delta: vertices the delta carried over keep their parts; brand-new
+// vertices are assigned greedily to the lightest part in vertex order.
+func deriveInherited(h *hypergraph.Hypergraph, old partition.Partition, d *hypergraph.Delta, k int) partition.Partition {
+	n := h.NumVertices()
+	parts := make([]int32, n)
+	w := make([]int64, k)
+	var news []int
+	for v := 0; v < n; v++ {
+		b := int32(v)
+		if d.VertexMap != nil {
+			b = d.VertexMap[v]
+		}
+		if b >= 0 && int(b) < len(old.Parts) {
+			parts[v] = old.Parts[b]
+			w[parts[v]] += h.Weight(v)
+		} else {
+			news = append(news, v)
+		}
+	}
+	for _, v := range news {
+		best := 0
+		for p := 1; p < k; p++ {
+			if w[p] < w[best] {
+				best = p
+			}
+		}
+		parts[v] = int32(best)
+		w[best] += h.Weight(v)
+	}
+	return partition.Partition{Parts: parts, K: k}
+}
+
+// fullWireEstimate approximates the JSON body size of a full-epoch
+// submission of h (the bytes a delta saved): ~7 bytes per pin, ~20 per
+// net, ~14 per vertex for weights+sizes, plus envelope.
+func fullWireEstimate(h *hypergraph.Hypergraph) int64 {
+	return 64 + int64(h.NumPins())*7 + int64(h.NumNets())*20 + int64(h.NumVertices())*14
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {

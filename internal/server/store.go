@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hyperbal/internal/core"
+	"hyperbal/internal/hypergraph"
 )
 
 // session is one served core.Session plus its serving state: the
@@ -22,6 +23,11 @@ type session struct {
 
 	mu      sync.Mutex // serializes epoch work on this session
 	lastMig *MigrationSummary
+	// baseH / baseFP are the last accepted epoch hypergraph and its
+	// fingerprint — the base the next delta submission applies against.
+	// Guarded by mu.
+	baseH  *hypergraph.Hypergraph
+	baseFP string
 
 	lastAccess atomic.Int64 // unix nanos, for TTL eviction
 }

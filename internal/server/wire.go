@@ -188,6 +188,22 @@ type EpochRequest struct {
 	OnlyIfUnbalanced bool           `json:"only_if_unbalanced,omitempty"`
 }
 
+// DeltaEpochRequest is the body of PATCH /v1/sessions/{id}/epochs: the
+// epoch's hypergraph expressed as a delta against the session's last
+// accepted hypergraph (Delta.Base must equal that fingerprint — a
+// mismatch is rejected with 409 code "fingerprint_mismatch" carrying the
+// server's base fingerprint, the client's signal to resubmit as a full
+// epoch). Inherited is optional for structural deltas: when absent the
+// server derives it from the delta's vertex map (mapped vertices keep
+// their parts, new vertices go to the lightest part). Warm asks for a
+// warm-started repartition restricted to the delta's dirty region.
+type DeltaEpochRequest struct {
+	Delta     hypergraph.Delta `json:"delta"`
+	Inherited []int32          `json:"inherited,omitempty"`
+	Epoch     int64            `json:"epoch,omitempty"`
+	Warm      bool             `json:"warm,omitempty"`
+}
+
 // WireResult is one load-balance operation in wire form.
 type WireResult struct {
 	Epoch           int64   `json:"epoch"`
@@ -203,6 +219,9 @@ type WireResult struct {
 	// Rebalanced is false only for only_if_unbalanced submissions whose
 	// drift was still within threshold (the epoch did not advance).
 	Rebalanced bool `json:"rebalanced"`
+	// Warm reports that the partitioner was warm-started from the previous
+	// distribution (delta epochs with warm=true).
+	Warm bool `json:"warm,omitempty"`
 }
 
 // SessionResponse is the body of POST /v1/sessions and of
@@ -244,11 +263,15 @@ type SessionInfo struct {
 
 // ErrorResponse is the body of every non-2xx response. Code is a stable
 // machine-readable discriminator: bad_request, not_found, epoch_conflict,
-// busy, draining, internal.
+// fingerprint_mismatch, busy, draining, internal.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
 	// Epoch carries the session's current epoch on epoch_conflict so the
 	// client can reconcile a retried submission.
 	Epoch int64 `json:"epoch,omitempty"`
+	// Base carries the session's current base fingerprint on
+	// fingerprint_mismatch so the client can resubmit a full epoch (or a
+	// delta against the right base).
+	Base string `json:"base,omitempty"`
 }
