@@ -203,38 +203,55 @@ func TestWarmStartQuality(t *testing.T) {
 	}
 }
 
-// TestWarmParallelismInvariance: the full warm pipeline — initial cold
-// partition, per-epoch deltas, dirty sets, warm repartitions — must be
-// byte-identical at every Parallelism setting.
+// TestWarmParallelismInvariance: the full pipeline — initial cold
+// partition, per-epoch deltas, dirty sets, warm repartitions, and a cold
+// repartition of every epoch's hypergraph — must be byte-identical at
+// every Parallelism setting, on every dataset analogue and both dynamics.
+// This is the invariant the fingerprint-keyed partition cache serves
+// results under, now carried by the deterministic kernel round structure
+// rather than by the warm path being serial.
 func TestWarmParallelismInvariance(t *testing.T) {
-	for _, dynamic := range []string{"weights", "structure"} {
-		t.Run(dynamic, func(t *testing.T) {
-			const k = 4
-			var ref [][]int32
-			for _, par := range []int{1, 2, 4} {
-				opt := hgp.Options{K: k, Seed: 47, Parallelism: par}
-				g, h0, init := setup(t, "xyce680s", k, 47, opt)
-				var got [][]int32
-				walk(t, "xyce680s", dynamic, k, 47, diffEpochs, init, h0, g, func(s step) partition.Partition {
-					dirty := s.delta.DirtyVertices(s.base, s.scratch)
-					warm, _, err := hgp.PartitionWarm(s.scratch, opt, hgp.WarmSpec{Parts: s.inherited.Parts, Dirty: dirty})
-					if err != nil {
-						t.Fatalf("epoch %d: warm: %v", s.epoch, err)
+	for _, ds := range datasets.Names() {
+		for _, dynamic := range []string{"weights", "structure"} {
+			t.Run(ds+"_"+dynamic, func(t *testing.T) {
+				const k = 4
+				type epochOut struct{ warm, cold []int32 }
+				var ref []epochOut
+				for _, par := range []int{1, 2, 4, 8} {
+					opt := hgp.Options{K: k, Seed: 47, Parallelism: par}
+					g, h0, init := setup(t, ds, k, 47, opt)
+					var got []epochOut
+					walk(t, ds, dynamic, k, 47, diffEpochs, init, h0, g, func(s step) partition.Partition {
+						cold, err := hgp.Partition(s.scratch, opt)
+						if err != nil {
+							t.Fatalf("epoch %d: cold: %v", s.epoch, err)
+						}
+						dirty := s.delta.DirtyVertices(s.base, s.scratch)
+						warm, _, err := hgp.PartitionWarm(s.scratch, opt, hgp.WarmSpec{Parts: s.inherited.Parts, Dirty: dirty})
+						if err != nil {
+							t.Fatalf("epoch %d: warm: %v", s.epoch, err)
+						}
+						got = append(got, epochOut{
+							warm: append([]int32(nil), warm.Parts...),
+							cold: append([]int32(nil), cold.Parts...),
+						})
+						return warm
+					})
+					if ref == nil {
+						ref = got
+						continue
 					}
-					got = append(got, append([]int32(nil), warm.Parts...))
-					return warm
-				})
-				if ref == nil {
-					ref = got
-					continue
-				}
-				for e := range got {
-					if !int32Equal(got[e], ref[e]) {
-						t.Errorf("parallelism %d epoch %d: warm partition differs from parallelism 1", par, e+1)
+					for e := range got {
+						if !int32Equal(got[e].warm, ref[e].warm) {
+							t.Errorf("parallelism %d epoch %d: warm partition differs from parallelism 1", par, e+1)
+						}
+						if !int32Equal(got[e].cold, ref[e].cold) {
+							t.Errorf("parallelism %d epoch %d: cold partition differs from parallelism 1", par, e+1)
+						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -47,13 +47,14 @@ func Partition(h *hypergraph.Hypergraph, opt Options) (partition.Partition, erro
 		polishStart := time.Now()
 		var cut int64
 		if opt.KwayFM {
-			cut = refineKwayFM(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
+			cut = refineKwayFM(h, opt.K, p.Parts, caps, opt.RefinePasses, ws, px)
 		} else {
-			cut = refineKway(h, opt.K, p.Parts, caps, opt.RefinePasses, ws)
+			cut = refineKway(h, opt.K, p.Parts, caps, opt.RefinePasses, ws, px)
 		}
 		obsPolishNs.ObserveSince(polishStart)
 		obsFinalCut.Set(cut)
 	}
+	obsKernelEfficiency.Set(px.efficiencyPermille())
 	return p, nil
 }
 
@@ -64,7 +65,7 @@ func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int
 	if coarsenTo < 2*opt.K {
 		coarsenTo = 2 * opt.K
 	}
-	levels := coarsen(h, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter, ws)
+	levels := coarsen(h, rng, coarsenTo, opt.MinShrink, opt.MaxNetSize, !opt.DisableMatchFilter, ws, px)
 	coarsest := levels[len(levels)-1].h
 
 	// Coarse solution: balanced random assignment honoring fixed labels,
@@ -84,7 +85,7 @@ func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int
 	px.forEach(opt.InitialStarts, ws, func(s int, sws *workspace) {
 		srng := rand.New(rand.NewSource(startSeed(baseSeed, s)))
 		parts := randomBalanced(coarsest, opt.K, opt.TargetFractions, srng)
-		cut := refineKway(coarsest, opt.K, parts, ccaps, opt.RefinePasses*2, sws)
+		cut := refineKway(coarsest, opt.K, parts, ccaps, opt.RefinePasses*2, sws, px)
 		w := make([]int64, opt.K)
 		for v, p := range parts {
 			w[p] += coarsest.Weight(v)
@@ -111,7 +112,7 @@ func directKway(h *hypergraph.Hypergraph, rng *rand.Rand, opt Options, out []int
 		refineStart := time.Now()
 		parts = project(levels[i].cmap, parts)
 		caps := capsForTargets(levels[i].h, opt.K, opt.Imbalance, opt.TargetFractions)
-		cut = refineKway(levels[i].h, opt.K, parts, caps, opt.RefinePasses, ws)
+		cut = refineKway(levels[i].h, opt.K, parts, caps, opt.RefinePasses, ws, px)
 		obsRefineNs.At(i).ObserveSince(refineStart)
 	}
 	if cut >= 0 {

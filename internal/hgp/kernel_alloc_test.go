@@ -1,0 +1,58 @@
+//go:build !race
+
+package hgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/graph"
+)
+
+// TestKernelAllocGuards pins the steady-state allocs/op of the parallel
+// kernel hot paths at the serial (reference-schedule) setting, so the
+// arena discipline of the workspace survives refactors. Limits carry
+// ~50% headroom over measured values; the contraction kernel's budget
+// covers its per-shard translate buffers, which are the price of the
+// parallel path and bounded by kernelShards. Excluded under -race: the
+// detector inserts allocations of its own.
+func TestKernelAllocGuards(t *testing.T) {
+	g, err := datasets.Generate("xyce680s", kernelBenchScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := graph.ToHypergraph(g)
+	ws := newWorkspace()
+	px := newParctx(1)
+
+	rng := rand.New(rand.NewSource(1))
+	match := ipmMatch(h, rng, 500, true, ws, px)
+	matchCopy := append([]int32(nil), match...)
+
+	if n := testing.AllocsPerRun(10, func() {
+		r := rand.New(rand.NewSource(1))
+		ipmMatch(h, r, 500, true, ws, px)
+	}); n > 16 {
+		t.Errorf("ipmMatch: %.0f allocs/op, want <= 16", n)
+	}
+
+	if n := testing.AllocsPerRun(10, func() {
+		copy(match, matchCopy)
+		contractWS(h, match, ws, px)
+	}); n > 120 {
+		t.Errorf("contractWS: %.0f allocs/op, want <= 120", n)
+	}
+
+	const k = 8
+	rng = rand.New(rand.NewSource(3))
+	base := randomBalanced(h, k, nil, rng)
+	caps := capsFor(h, k, 0.10)
+	parts := make([]int32, len(base))
+	if n := testing.AllocsPerRun(10, func() {
+		copy(parts, base)
+		refineKway(h, k, parts, caps, 2, ws, px)
+	}); n > 8 {
+		t.Errorf("refineKway round: %.0f allocs/op, want <= 8", n)
+	}
+}

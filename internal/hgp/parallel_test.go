@@ -53,7 +53,7 @@ func TestPartitionParallelismDeterminism(t *testing.T) {
 			variant.mod(&opt)
 			opt.Parallelism = 1
 			ref := partitionBytes(t, hf, opt)
-			for _, par := range []int{2, 8} {
+			for _, par := range []int{2, 4, 8} {
 				opt.Parallelism = par
 				got := partitionBytes(t, hf, opt)
 				if !bytes.Equal(ref, got) {
@@ -62,6 +62,34 @@ func TestPartitionParallelismDeterminism(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestKernelWorkersRespectSerialPin asserts the PR 3 rank-local regime
+// extends to the intra-level kernel shards: at Parallelism=1 (the pin the
+// SPMD coarse solve applies per rank) no work item — RB side, multi-start,
+// or kernel shard — may run on a spawned worker, which the
+// hgp_kernel_worker_items_total counter records.
+func TestKernelWorkersRespectSerialPin(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := quickHG(rng)
+
+	before := obsKernelWorkerItems.Load()
+	if _, err := Partition(h, Options{K: 4, Imbalance: 0.10, Seed: 3, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := obsKernelWorkerItems.Load() - before; d != 0 {
+		t.Fatalf("Parallelism=1 spawned %d kernel worker items, want 0", d)
+	}
+
+	// Sanity check the counter is live: an unpinned run must spill at
+	// least one item onto the pool.
+	before = obsKernelWorkerItems.Load()
+	if _, err := Partition(h, Options{K: 4, Imbalance: 0.10, Seed: 3, Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if obsKernelWorkerItems.Load() == before {
+		t.Fatal("Parallelism=4 spawned no kernel worker items; spill accounting is dead")
 	}
 }
 
@@ -75,7 +103,7 @@ func TestPartitionWithVCyclesParallelismDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, par := range []int{2, 8} {
+	for _, par := range []int{2, 4, 8} {
 		opt.Parallelism = par
 		got, err := PartitionWithVCycles(h, opt, 2)
 		if err != nil {
