@@ -62,6 +62,13 @@ type ClientOptions struct {
 	// HTTPClient overrides the transport (default: a dedicated
 	// http.Client; its Timeout is left to RequestTimeout contexts).
 	HTTPClient *http.Client
+	// Wire selects the request/response codec: "binary" (the default)
+	// speaks the varint-packed application/x-hyperbal protocol and accepts
+	// binary responses; "json" forces the JSON wire format (for debugging,
+	// curl parity, or servers predating the binary protocol). Both codecs
+	// produce byte-identical partitions — the server validates them through
+	// one shared path.
+	Wire string
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -81,6 +88,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.HTTPClient == nil {
 		o.HTTPClient = &http.Client{}
+	}
+	if o.Wire == "" {
+		o.Wire = "binary"
 	}
 	return o
 }
@@ -155,21 +165,27 @@ func retryable(status int) bool {
 	return false
 }
 
-// do performs one API call with the retry/backoff policy. A nil out skips
-// decoding. Returns the final status code.
-func (c *Client) do(ctx context.Context, op, method, path string, in, out any) (int, error) {
+// binary reports whether this client speaks the binary wire protocol.
+func (c *Client) binary() bool { return c.opt.Wire != "json" }
+
+// jsonBody marshals a JSON request body. The request structs marshal
+// without error; the error return exists for do()'s contract.
+func jsonBody(in any) ([]byte, string, error) {
+	b, err := json.Marshal(in)
+	return b, "application/json", err
+}
+
+// do performs one API call with the retry/backoff policy. body/contentType
+// carry a pre-rendered request payload (nil body for GET/DELETE); a nil out
+// skips decoding. Returns the final status code.
+func (c *Client) do(ctx context.Context, op, method, path string, body []byte, contentType string, out any) (int, error) {
 	obsClientRequests.With(op).Inc()
-	var body []byte
-	if in != nil {
-		var err error
-		if body, err = json.Marshal(in); err != nil {
-			return 0, err
-		}
+	if body != nil {
 		obsClientBytesSent.With(op).Add(int64(len(body)))
 	}
 	backoff := c.opt.Backoff
 	for attempt := 0; ; attempt++ {
-		status, err := c.attempt(ctx, method, path, body, out)
+		status, err := c.attempt(ctx, method, path, body, contentType, out)
 		if err == nil {
 			return status, nil
 		}
@@ -199,7 +215,7 @@ func (c *Client) do(ctx context.Context, op, method, path string, in, out any) (
 // attempt performs one HTTP round trip. Retryable failures come back as a
 // non-nil error; non-retryable API errors are decoded into *APIError and
 // returned with err == nil so do() stops retrying.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string, out any) (int, error) {
 	actx, cancel := context.WithTimeout(ctx, c.opt.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -211,7 +227,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return 0, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.binary() {
+		req.Header.Set("Accept", server.ContentTypeBinary+", application/json")
+	} else {
+		req.Header.Set("Accept", "application/json")
 	}
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
@@ -232,11 +253,48 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return resp.StatusCode, errNonRetryable{e}
 	}
 	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return resp.StatusCode, fmt.Errorf("balancerd: reading response: %w", err)
+		}
+		if err := decodeResponse(resp.Header.Get("Content-Type"), data, out); err != nil {
 			return resp.StatusCode, fmt.Errorf("balancerd: decoding response: %w", err)
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// decodeResponse dispatches on the response Content-Type: servers that
+// honor the binary Accept answer application/x-hyperbal, anything else is
+// decoded as JSON. Error bodies never reach here (always JSON, handled
+// above), so only success payload types appear in the switch.
+func decodeResponse(contentType string, data []byte, out any) error {
+	if !strings.HasPrefix(contentType, server.ContentTypeBinary) {
+		return json.Unmarshal(data, out)
+	}
+	switch v := out.(type) {
+	case *server.SessionResponse:
+		r, err := server.DecodeSessionResponseBinary(data)
+		if err != nil {
+			return err
+		}
+		*v = r
+	case *server.PartitionResponse:
+		r, err := server.DecodePartitionResponseBinary(data)
+		if err != nil {
+			return err
+		}
+		*v = r
+	case *server.SessionInfo:
+		r, err := server.DecodeSessionInfoBinary(data)
+		if err != nil {
+			return err
+		}
+		*v = r
+	default:
+		return fmt.Errorf("unexpected binary response for %T", out)
+	}
+	return nil
 }
 
 // errNonRetryable wraps an APIError that must not be retried.
@@ -272,12 +330,23 @@ type RemoteSession struct {
 // CreateSession creates a server-side session: the server computes (or
 // serves from cache) the epoch-1 static partition of h under cfg.
 func (c *Client) CreateSession(ctx context.Context, cfg BalancerConfig, h *Hypergraph) (*RemoteSession, RemoteResult, error) {
-	req := server.CreateSessionRequest{
+	var (
+		body []byte
+		ct   string
+		err  error
+	)
+	if c.binary() {
+		// Rendered straight from the CSR arrays — no WireHypergraph
+		// intermediate, no per-net JSON materialization.
+		body, ct = server.AppendCreateRequestBinary(nil, server.WireConfigFrom(cfg), h), server.ContentTypeBinary
+	} else if body, ct, err = jsonBody(server.CreateSessionRequest{
 		Config:     server.WireConfigFrom(cfg),
 		Hypergraph: server.EncodeHypergraph(h),
+	}); err != nil {
+		return nil, RemoteResult{}, err
 	}
 	var resp server.SessionResponse
-	if _, err := c.do(ctx, "create", http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+	if _, err := c.do(ctx, "create", http.MethodPost, "/v1/sessions", body, ct, &resp); err != nil {
 		return nil, RemoteResult{}, unwrapFinal(err)
 	}
 	return &RemoteSession{c: c, ID: resp.SessionID, baseH: h}, remoteResult(resp.Result), nil
@@ -287,7 +356,7 @@ func (c *Client) CreateSession(ctx context.Context, cfg BalancerConfig, h *Hyper
 // synchronizing the epoch counter from the server.
 func (c *Client) Session(ctx context.Context, id string) (*RemoteSession, error) {
 	var info server.SessionInfo
-	if _, err := c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+id, nil, &info); err != nil {
+	if _, err := c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+id, nil, "", &info); err != nil {
 		return nil, unwrapFinal(err)
 	}
 	return &RemoteSession{c: c, ID: id, epoch: info.Epoch}, nil
@@ -296,31 +365,20 @@ func (c *Client) Session(ctx context.Context, id string) (*RemoteSession, error)
 // SubmitEpoch submits a drifted hypergraph with an unchanged vertex set;
 // the server rebalances against the session's current distribution.
 func (s *RemoteSession) SubmitEpoch(ctx context.Context, h *Hypergraph) (RemoteResult, error) {
-	return s.submit(ctx, server.EpochRequest{
-		Hypergraph: server.EncodeHypergraph(h),
-		Epoch:      s.epoch + 1,
-	}, h)
+	return s.submit(ctx, h, nil, false)
 }
 
 // SubmitEpochInherited submits a structurally changed hypergraph with the
 // inherited assignment over the new vertex set.
 func (s *RemoteSession) SubmitEpochInherited(ctx context.Context, h *Hypergraph, inherited Partition) (RemoteResult, error) {
-	return s.submit(ctx, server.EpochRequest{
-		Hypergraph: server.EncodeHypergraph(h),
-		Inherited:  inherited.Parts,
-		Epoch:      s.epoch + 1,
-	}, h)
+	return s.submit(ctx, h, inherited.Parts, false)
 }
 
 // SubmitEpochIfUnbalanced is SubmitEpoch with the server-side trigger: the
 // result has Rebalanced == false (and the unchanged distribution) when the
 // drift was still within the session threshold.
 func (s *RemoteSession) SubmitEpochIfUnbalanced(ctx context.Context, h *Hypergraph) (RemoteResult, error) {
-	return s.submit(ctx, server.EpochRequest{
-		Hypergraph:       server.EncodeHypergraph(h),
-		Epoch:            s.epoch + 1,
-		OnlyIfUnbalanced: true,
-	}, h)
+	return s.submit(ctx, h, nil, true)
 }
 
 // SubmitEpochDelta submits a drifted hypergraph with an unchanged vertex
@@ -340,11 +398,8 @@ func (s *RemoteSession) SubmitEpochDelta(ctx context.Context, h *Hypergraph, war
 		obsClientDeltaFallbacks.Inc()
 		return s.SubmitEpoch(ctx, h)
 	}
-	return s.submitDelta(ctx, server.DeltaEpochRequest{
-		Delta: *d,
-		Epoch: s.epoch + 1,
-		Warm:  warm,
-	}, h, func() (RemoteResult, error) { return s.SubmitEpoch(ctx, h) })
+	return s.submitDelta(ctx, d, nil, warm, h,
+		func() (RemoteResult, error) { return s.SubmitEpoch(ctx, h) })
 }
 
 // SubmitEpochDeltaMapped submits a structurally changed hypergraph as a
@@ -362,22 +417,34 @@ func (s *RemoteSession) SubmitEpochDeltaMapped(ctx context.Context, h *Hypergrap
 		obsClientDeltaFallbacks.Inc()
 		return s.SubmitEpochInherited(ctx, h, inherited)
 	}
-	return s.submitDelta(ctx, server.DeltaEpochRequest{
-		Delta:     *d,
-		Inherited: inherited.Parts,
-		Epoch:     s.epoch + 1,
-		Warm:      warm,
-	}, h, func() (RemoteResult, error) { return s.SubmitEpochInherited(ctx, h, inherited) })
+	return s.submitDelta(ctx, d, inherited.Parts, warm, h,
+		func() (RemoteResult, error) { return s.SubmitEpochInherited(ctx, h, inherited) })
 }
 
-func (s *RemoteSession) submit(ctx context.Context, req server.EpochRequest, h *Hypergraph) (RemoteResult, error) {
+func (s *RemoteSession) submit(ctx context.Context, h *Hypergraph, inherited []int32, onlyIfUnbalanced bool) (RemoteResult, error) {
+	epoch := s.epoch + 1
+	var (
+		body []byte
+		ct   string
+		err  error
+	)
+	if s.c.binary() {
+		body, ct = server.AppendEpochRequestBinary(nil, h, inherited, epoch, onlyIfUnbalanced), server.ContentTypeBinary
+	} else if body, ct, err = jsonBody(server.EpochRequest{
+		Hypergraph:       server.EncodeHypergraph(h),
+		Inherited:        inherited,
+		Epoch:            epoch,
+		OnlyIfUnbalanced: onlyIfUnbalanced,
+	}); err != nil {
+		return RemoteResult{}, err
+	}
 	var resp server.SessionResponse
-	status, err := s.c.do(ctx, "epoch", http.MethodPost, "/v1/sessions/"+s.ID+"/epochs", req, &resp)
+	status, err := s.c.do(ctx, "epoch", http.MethodPost, "/v1/sessions/"+s.ID+"/epochs", body, ct, &resp)
 	if err != nil {
 		if status == http.StatusConflict {
 			// A retried submission may have landed before its response was
 			// lost; reconcile against the server's view.
-			if res, rerr := s.reconcile(ctx, req.Epoch); rerr == nil {
+			if res, rerr := s.reconcile(ctx, epoch); rerr == nil {
 				s.baseH = h
 				return res, nil
 			}
@@ -394,9 +461,25 @@ func (s *RemoteSession) submit(ctx context.Context, req server.EpochRequest, h *
 
 // submitDelta performs one PATCH epoch submission; full is the fallback
 // used on a base fingerprint mismatch.
-func (s *RemoteSession) submitDelta(ctx context.Context, req server.DeltaEpochRequest, h *Hypergraph, full func() (RemoteResult, error)) (RemoteResult, error) {
+func (s *RemoteSession) submitDelta(ctx context.Context, d *hypergraph.Delta, inherited []int32, warm bool, h *Hypergraph, full func() (RemoteResult, error)) (RemoteResult, error) {
+	epoch := s.epoch + 1
+	var (
+		body []byte
+		ct   string
+		err  error
+	)
+	if s.c.binary() {
+		body, ct = server.AppendDeltaRequestBinary(nil, d, inherited, epoch, warm), server.ContentTypeBinary
+	} else if body, ct, err = jsonBody(server.DeltaEpochRequest{
+		Delta:     *d,
+		Inherited: inherited,
+		Epoch:     epoch,
+		Warm:      warm,
+	}); err != nil {
+		return RemoteResult{}, err
+	}
 	var resp server.SessionResponse
-	status, err := s.c.do(ctx, "delta", http.MethodPatch, "/v1/sessions/"+s.ID+"/epochs", req, &resp)
+	status, err := s.c.do(ctx, "delta", http.MethodPatch, "/v1/sessions/"+s.ID+"/epochs", body, ct, &resp)
 	if err != nil {
 		if status == http.StatusConflict {
 			var apiErr *APIError
@@ -408,7 +491,7 @@ func (s *RemoteSession) submitDelta(ctx context.Context, req server.DeltaEpochRe
 			}
 			// epoch_conflict: a retried submission may have landed before
 			// its response was lost; reconcile against the server's view.
-			if res, rerr := s.reconcile(ctx, req.Epoch); rerr == nil {
+			if res, rerr := s.reconcile(ctx, epoch); rerr == nil {
 				s.baseH = h
 				return res, nil
 			}
@@ -428,7 +511,7 @@ func (s *RemoteSession) submitDelta(ctx context.Context, req server.DeltaEpochRe
 // the expected epoch, its last result IS our submission's result.
 func (s *RemoteSession) reconcile(ctx context.Context, expected int64) (RemoteResult, error) {
 	var info server.SessionInfo
-	if _, err := s.c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+s.ID, nil, &info); err != nil {
+	if _, err := s.c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+s.ID, nil, "", &info); err != nil {
 		return RemoteResult{}, unwrapFinal(err)
 	}
 	if expected == 0 || info.Epoch != expected {
@@ -446,7 +529,7 @@ func (s *RemoteSession) Epoch() int64 { return s.epoch }
 // plan summary of the latest epoch (nil before the first rebalance).
 func (s *RemoteSession) Partition(ctx context.Context) (Partition, *RemoteMigration, error) {
 	var resp server.PartitionResponse
-	if _, err := s.c.do(ctx, "partition", http.MethodGet, "/v1/sessions/"+s.ID+"/partition", nil, &resp); err != nil {
+	if _, err := s.c.do(ctx, "partition", http.MethodGet, "/v1/sessions/"+s.ID+"/partition", nil, "", &resp); err != nil {
 		return Partition{}, nil, unwrapFinal(err)
 	}
 	return Partition{Parts: resp.Parts, K: resp.K}, resp.Migration, nil
@@ -454,6 +537,6 @@ func (s *RemoteSession) Partition(ctx context.Context) (Partition, *RemoteMigrat
 
 // Close deletes the server-side session.
 func (s *RemoteSession) Close(ctx context.Context) error {
-	_, err := s.c.do(ctx, "delete", http.MethodDelete, "/v1/sessions/"+s.ID, nil, nil)
+	_, err := s.c.do(ctx, "delete", http.MethodDelete, "/v1/sessions/"+s.ID, nil, "", nil)
 	return unwrapFinal(err)
 }

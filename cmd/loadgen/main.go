@@ -10,14 +10,24 @@
 //	loadgen -addr http://127.0.0.1:8080 [-sessions 100] [-epochs 3]
 //	        [-datasets xyce680s] [-n 1200] [-k 8] [-alpha 100]
 //	        [-dynamic weights|structure] [-distinct-seeds]
-//	        [-scenario delta-drift] [-warm]
-//	        [-bench-json BENCH_serve.json] [-check-schema schema.json]
+//	        [-wire binary,json] [-scenario delta-drift|concurrent-identical]
+//	        [-warm] [-bench-json BENCH_serve.json] [-check-schema schema.json]
+//
+// -wire lists the codecs to exercise; each entry gets a full independent
+// run (local metrics reset in between, server-side counters diffed around
+// the run), so a "binary,json" sweep appends one comparable bench snapshot
+// per codec.
 //
 // -scenario delta-drift submits every epoch as a PATCH delta against the
 // previous one instead of a full hypergraph; -warm additionally asks the
 // server to warm-start each repartition from the inherited distribution.
 // The bench snapshot then records wire bytes by op, the server's
 // delta-vs-full-resync byte estimate, and warm/cold repartition times.
+//
+// -scenario concurrent-identical releases every session's create through a
+// start barrier at once, all with the same seed: the server's singleflight
+// group collapses the identical cold solves to one leader, and the bench
+// snapshot records the leader/shared split.
 //
 // By default every session runs the identical workload (same seed), which
 // exercises the server's fingerprint-keyed partition cache: the first
@@ -70,7 +80,8 @@ func main() {
 		method   = flag.String("method", "Zoltan-repart", "load-balancing method")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		distinct = flag.Bool("distinct-seeds", false, "give every session its own seed (defeats the partition cache)")
-		scenario = flag.String("scenario", "", "named scenario: delta-drift submits every epoch as a PATCH delta against the previous one")
+		wireList = flag.String("wire", "binary", "comma-separated wire codecs to run (binary|json); each gets a full independent run")
+		scenario = flag.String("scenario", "", "named scenario: delta-drift (PATCH deltas) or concurrent-identical (singleflight collapse)")
 		warm     = flag.Bool("warm", false, "ask the server to warm-start delta epochs from the inherited distribution (delta-drift only)")
 
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
@@ -89,51 +100,134 @@ func main() {
 	names := strings.Split(*dsList, ",")
 	m, err := core.ParseMethod(*method)
 	check(err)
-	useDelta := false
+	useDelta, barrier := false, false
 	switch *scenario {
 	case "":
 	case "delta-drift":
 		useDelta = true
+	case "concurrent-identical":
+		barrier = true
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown scenario %q (have: delta-drift)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown scenario %q (have: delta-drift, concurrent-identical)\n", *scenario)
 		os.Exit(2)
 	}
 	if *warm && !useDelta {
 		fmt.Fprintln(os.Stderr, "loadgen: -warm requires -scenario delta-drift")
 		os.Exit(2)
 	}
+	if barrier && *distinct {
+		fmt.Fprintln(os.Stderr, "loadgen: -scenario concurrent-identical needs identical seeds; drop -distinct-seeds")
+		os.Exit(2)
+	}
+	wires := strings.Split(*wireList, ",")
+	for _, w := range wires {
+		if w != "binary" && w != "json" {
+			fmt.Fprintf(os.Stderr, "loadgen: unknown wire codec %q (have: binary, json)\n", w)
+			os.Exit(2)
+		}
+	}
 
-	client := hyperbal.NewClient(*addr, hyperbal.ClientOptions{
-		RequestTimeout: *timeout,
-		MaxRetries:     *retries,
+	failed := false
+	for _, wire := range wires {
+		label := *benchLabel
+		if len(wires) > 1 {
+			label += "-" + wire
+		}
+		if !runLoad(loadRun{
+			addr: *addr, wire: wire, sessions: *sessions, epochs: *epochs,
+			names: names, n: *n, k: *k, alpha: *alpha, m: m, dynamic: *dynamic,
+			seed: *seed, distinct: *distinct, useDelta: useDelta, warm: *warm,
+			barrier: barrier, scenario: *scenario,
+			timeout: *timeout, retries: *retries,
+			benchJSON: *benchJSON, benchLabel: label, checkSchema: *checkSchema,
+		}) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("loadgen: all epochs served (zero dropped)")
+}
+
+// loadRun is one full load-generation pass over a single wire codec.
+type loadRun struct {
+	addr     string
+	wire     string
+	sessions int
+	epochs   int
+	names    []string
+	n, k     int
+	alpha    int64
+	m        core.Method
+	dynamic  string
+	seed     int64
+	distinct bool
+	useDelta bool
+	warm     bool
+	// barrier releases every session's create simultaneously
+	// (concurrent-identical scenario).
+	barrier  bool
+	scenario string
+
+	timeout time.Duration
+	retries int
+
+	benchJSON   string
+	benchLabel  string
+	checkSchema string
+}
+
+// runLoad drives one complete pass and reports/benchmarks it. Local obs
+// metrics are reset at entry so per-codec numbers do not bleed between
+// passes; server-side counters (cumulative since server start) are diffed
+// around the pass. Returns false when any epoch dropped.
+func runLoad(rc loadRun) bool {
+	obs.Default().Reset()
+	before, _ := fetchServerMetrics(rc.addr)
+
+	client := hyperbal.NewClient(rc.addr, hyperbal.ClientOptions{
+		RequestTimeout: rc.timeout,
+		MaxRetries:     rc.retries,
+		Wire:           rc.wire,
 	})
 
+	var gate chan struct{}
+	if rc.barrier {
+		gate = make(chan struct{})
+	}
 	var failures atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < *sessions; i++ {
+	for i := 0; i < rc.sessions; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sseed := *seed
-			if *distinct {
+			sseed := rc.seed
+			if rc.distinct {
 				sseed += int64(i)
 			}
-			name := names[i%len(names)]
-			if err := runSession(client, name, *n, *k, *alpha, m, *dynamic, sseed, *epochs, useDelta, *warm); err != nil {
+			name := rc.names[i%len(rc.names)]
+			if gate != nil {
+				<-gate
+			}
+			if err := runSession(client, name, rc.n, rc.k, rc.alpha, rc.m, rc.dynamic, sseed, rc.epochs, rc.useDelta, rc.warm); err != nil {
 				failures.Add(1)
 				fmt.Fprintf(os.Stderr, "loadgen: session %d (%s): %v\n", i, name, err)
 			}
 		}(i)
+	}
+	if gate != nil {
+		close(gate)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	ok := lgEpochsOK.Load()
 	dropped := lgDropped.Load()
-	total := int64(*sessions) * int64(*epochs+1) // +1: the create partitioning
-	fmt.Printf("loadgen: %d sessions x %d epochs on %v (%s drift, method %s)\n",
-		*sessions, *epochs, names, *dynamic, m)
+	total := int64(rc.sessions) * int64(rc.epochs+1) // +1: the create partitioning
+	fmt.Printf("loadgen: %d sessions x %d epochs on %v (%s drift, method %s, %s wire)\n",
+		rc.sessions, rc.epochs, rc.names, rc.dynamic, rc.m, rc.wire)
 	fmt.Printf("  wall time        %s\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  ops ok/dropped   %d/%d (of %d)\n", ok, dropped, total)
 	fmt.Printf("  throughput       %.1f ops/s\n", float64(ok)/elapsed.Seconds())
@@ -141,22 +235,33 @@ func main() {
 	fmt.Printf("  epoch  p50/p99   %.2f / %.2f ms\n", ms(lgEpochNs.Quantile(0.50)), ms(lgEpochNs.Quantile(0.99)))
 	fmt.Printf("  client cached    %d/%d responses\n", lgCached.Load(), ok)
 
-	snap, serverHitRate := fetchServerMetrics(*addr)
-	if serverHitRate >= 0 {
+	snap, _ := fetchServerMetrics(rc.addr)
+	serverHitRate := -1.0
+	if snap != nil {
+		hits := counterDiff(before, snap, "server_cache_hits_total")
+		misses := counterDiff(before, snap, "server_cache_misses_total")
+		if hits+misses == 0 {
+			serverHitRate = 0
+		} else {
+			serverHitRate = float64(hits) / float64(hits+misses)
+		}
 		fmt.Printf("  server cache     %.1f%% hit rate\n", 100*serverHitRate)
 	}
 	epochWire := labeledCounter("client_bytes_sent_total", "op", "epoch")
 	deltaWire := labeledCounter("client_bytes_sent_total", "op", "delta")
 	deltaFallbacks := snapshotCounter("client_delta_fallbacks_total")
-	var serverDeltaBytes, serverDeltaFullEst int64
-	var warmAvgMs, coldAvgMs float64
+	rxBytes := counterDiff(before, snap, "server_wire_rx_bytes_total{codec=\""+rc.wire+"\"}")
+	txBytes := counterDiff(before, snap, "server_wire_tx_bytes_total{codec=\""+rc.wire+"\"}")
+	sfLeaders := counterDiff(before, snap, "server_singleflight_leaders_total")
+	sfShared := counterDiff(before, snap, "server_singleflight_shared_total")
 	if snap != nil {
-		serverDeltaBytes = snap.Counters["server_delta_bytes_total"]
-		serverDeltaFullEst = snap.Counters["server_delta_full_bytes_estimated_total"]
-		warmAvgMs = histAvgMs(snap.Histograms["server_epoch_warm_ns"])
-		coldAvgMs = histAvgMs(snap.Histograms["server_epoch_cold_ns"])
+		fmt.Printf("  server wire      %d B in / %d B out (%s)\n", rxBytes, txBytes, rc.wire)
 	}
-	if useDelta {
+	serverDeltaBytes := counterDiff(before, snap, "server_delta_bytes_total")
+	serverDeltaFullEst := counterDiff(before, snap, "server_delta_full_bytes_estimated_total")
+	warmAvgMs := histDiffAvgMs(before, snap, "server_epoch_warm_ns")
+	coldAvgMs := histDiffAvgMs(before, snap, "server_epoch_cold_ns")
+	if rc.useDelta {
 		fmt.Printf("  delta wire       %d B sent as deltas, %d B as full epochs, %d fallbacks\n",
 			deltaWire, epochWire, deltaFallbacks)
 		if serverDeltaFullEst > 0 {
@@ -169,24 +274,28 @@ func main() {
 				warmAvgMs, coldAvgMs, coldAvgMs/warmAvgMs)
 		}
 	}
-	if *checkSchema != "" {
+	if rc.barrier {
+		fmt.Printf("  singleflight     %d leaders, %d shared followers\n", sfLeaders, sfShared)
+	}
+	if rc.checkSchema != "" {
 		if snap == nil {
 			fmt.Fprintln(os.Stderr, "loadgen: -check-schema: could not fetch server metrics")
 			os.Exit(1)
 		}
-		schema, err := obs.ReadSchema(*checkSchema)
+		schema, err := obs.ReadSchema(rc.checkSchema)
 		check(err)
 		check(obs.CheckSnapshot(*snap, schema))
-		fmt.Printf("  metrics schema   ok (%s)\n", *checkSchema)
+		fmt.Printf("  metrics schema   ok (%s)\n", rc.checkSchema)
 	}
 
-	if *benchJSON != "" {
-		check(writeBench(*benchJSON, *benchLabel, benchSnapshot{
-			Label: *benchLabel, Date: time.Now().UTC().Format("2006-01-02"),
+	if rc.benchJSON != "" {
+		check(writeBench(rc.benchJSON, rc.benchLabel, benchSnapshot{
+			Label: rc.benchLabel, Date: time.Now().UTC().Format("2006-01-02"),
 			GoMaxProcs: runtime.GOMAXPROCS(0),
-			Sessions:   *sessions, EpochsPerSession: *epochs,
-			Datasets: names, ScaleV: *n, K: *k, Alpha: *alpha,
-			Dynamic: *dynamic, Method: m.String(), DistinctSeeds: *distinct,
+			Sessions:   rc.sessions, EpochsPerSession: rc.epochs,
+			Datasets: rc.names, ScaleV: rc.n, K: rc.k, Alpha: rc.alpha,
+			Dynamic: rc.dynamic, Method: rc.m.String(), DistinctSeeds: rc.distinct,
+			Wire:          rc.wire,
 			DurationMs:    float64(elapsed.Microseconds()) / 1000,
 			OpsOK:         ok,
 			OpsDropped:    dropped,
@@ -196,24 +305,28 @@ func main() {
 			ClientCachedFrac:     frac(lgCached.Load(), ok),
 			ServerCacheHitRate:   serverHitRate,
 			Retries:              snapshotCounter("client_retries_total"),
-			Scenario:             *scenario,
-			Warm:                 *warm,
+			Scenario:             rc.scenario,
+			Warm:                 rc.warm,
 			ClientEpochWireBytes: epochWire,
 			ClientDeltaWireBytes: deltaWire,
 			ClientDeltaFallbacks: deltaFallbacks,
+			ServerRxBytes:        rxBytes,
+			ServerTxBytes:        txBytes,
+			SingleflightLeaders:  sfLeaders,
+			SingleflightShared:   sfShared,
 			ServerDeltaBytes:     serverDeltaBytes,
 			ServerDeltaFullEst:   serverDeltaFullEst,
 			ServerWarmAvgMs:      warmAvgMs,
 			ServerColdAvgMs:      coldAvgMs,
 		}))
-		fmt.Printf("  bench snapshot   appended to %s\n", *benchJSON)
+		fmt.Printf("  bench snapshot   appended to %s\n", rc.benchJSON)
 	}
 
 	if dropped > 0 || failures.Load() > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: FAILED: %d dropped epochs, %d failed sessions\n", dropped, failures.Load())
-		os.Exit(1)
+		return false
 	}
-	fmt.Println("loadgen: all epochs served (zero dropped)")
+	return true
 }
 
 // runSession drives one full session lifecycle against the server. With
@@ -330,13 +443,38 @@ func labeledCounter(name, label, value string) int64 {
 	return obs.Default().Counter(name, label, value).Load()
 }
 
-// histAvgMs derives the mean sample in milliseconds from a histogram
-// snapshot (0 when empty).
-func histAvgMs(h obs.HistogramSnapshot) float64 {
-	if h.Count == 0 {
+// counterDiff reads how much a server counter grew across this run:
+// after-value minus before-value (0 when the after snapshot is missing;
+// a missing before snapshot counts as zero).
+func counterDiff(before, after *obs.Snapshot, key string) int64 {
+	if after == nil {
 		return 0
 	}
-	return float64(h.Sum) / float64(h.Count) / 1e6
+	v := after.Counters[key]
+	if before != nil {
+		v -= before.Counters[key]
+	}
+	return v
+}
+
+// histDiffAvgMs derives the mean sample in milliseconds of a server
+// histogram restricted to this run, by diffing count and sum across the
+// before/after snapshots.
+func histDiffAvgMs(before, after *obs.Snapshot, key string) float64 {
+	if after == nil {
+		return 0
+	}
+	h := after.Histograms[key]
+	count, sum := h.Count, h.Sum
+	if before != nil {
+		b := before.Histograms[key]
+		count -= b.Count
+		sum -= b.Sum
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count) / 1e6
 }
 
 func ms(ns int64) float64 { return float64(ns) / 1e6 }
@@ -362,6 +500,7 @@ type benchSnapshot struct {
 	Dynamic          string   `json:"dynamic"`
 	Method           string   `json:"method"`
 	DistinctSeeds    bool     `json:"distinct_seeds"`
+	Wire             string   `json:"wire,omitempty"`
 
 	DurationMs    float64 `json:"duration_ms"`
 	OpsOK         int64   `json:"ops_ok"`
@@ -385,6 +524,13 @@ type benchSnapshot struct {
 	ClientEpochWireBytes int64   `json:"client_epoch_wire_bytes,omitempty"`
 	ClientDeltaWireBytes int64   `json:"client_delta_wire_bytes,omitempty"`
 	ClientDeltaFallbacks int64   `json:"client_delta_fallbacks,omitempty"`
+	// Server-side payload bytes for this run's codec and the singleflight
+	// leader/shared split (concurrent-identical scenario), both diffed
+	// around the run so multi-codec sweeps stay comparable.
+	ServerRxBytes       int64 `json:"server_rx_bytes,omitempty"`
+	ServerTxBytes       int64 `json:"server_tx_bytes,omitempty"`
+	SingleflightLeaders int64 `json:"singleflight_leaders,omitempty"`
+	SingleflightShared  int64 `json:"singleflight_shared,omitempty"`
 	ServerDeltaBytes     int64   `json:"server_delta_bytes,omitempty"`
 	ServerDeltaFullEst   int64   `json:"server_delta_full_bytes_est,omitempty"`
 	ServerWarmAvgMs      float64 `json:"server_warm_avg_ms,omitempty"`

@@ -1,0 +1,336 @@
+package server_test
+
+// Differential and adversarial tests for the binary wire protocol: every
+// endpoint must produce byte-identical partitions over both codecs (they
+// share one validation/solve path, so any divergence is a codec bug),
+// malformed binary frames must be rejected with clean 400s, and
+// concurrent identical cold solves must collapse to one leader through
+// the singleflight group.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperbal"
+	"hyperbal/internal/core"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/obs"
+	"hyperbal/internal/server"
+)
+
+// TestWireDifferential drives the identical session lifecycle — create,
+// full epoch, inherited epoch, only-if-unbalanced epoch, delta epoch,
+// info, partition, close — through a JSON client and a binary client
+// against separate fresh servers, and requires byte-identical partitions
+// at every step.
+func TestWireDifferential(t *testing.T) {
+	type trace struct {
+		parts [][]int32
+		warm  []bool
+	}
+	run := func(wire string) trace {
+		srv := server.New(server.Config{})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := hyperbal.NewClient(ts.URL, hyperbal.ClientOptions{
+			MaxRetries: 1, Backoff: 5 * time.Millisecond, Wire: wire,
+		})
+		ctx := context.Background()
+		cfg := core.Config{K: 4, Alpha: 100, Seed: 11}
+		h := codecTestHypergraph(1)
+
+		var tr trace
+		sess, first, err := client.CreateSession(ctx, cfg, h)
+		if err != nil {
+			t.Fatalf("%s create: %v", wire, err)
+		}
+		tr.parts = append(tr.parts, first.Partition.Parts)
+
+		h2 := codecTestHypergraph(2)
+		res, err := sess.SubmitEpoch(ctx, h2)
+		if err != nil {
+			t.Fatalf("%s epoch: %v", wire, err)
+		}
+		tr.parts = append(tr.parts, res.Partition.Parts)
+
+		h3 := codecTestHypergraph(3)
+		res, err = sess.SubmitEpochInherited(ctx, h3, res.Partition)
+		if err != nil {
+			t.Fatalf("%s inherited: %v", wire, err)
+		}
+		tr.parts = append(tr.parts, res.Partition.Parts)
+
+		res, err = sess.SubmitEpochIfUnbalanced(ctx, h3)
+		if err != nil {
+			t.Fatalf("%s if-unbalanced: %v", wire, err)
+		}
+		tr.parts = append(tr.parts, res.Partition.Parts)
+
+		h4 := codecTestHypergraph(4)
+		res, err = sess.SubmitEpochDelta(ctx, h4, true)
+		if err != nil {
+			t.Fatalf("%s delta: %v", wire, err)
+		}
+		tr.parts = append(tr.parts, res.Partition.Parts)
+		tr.warm = append(tr.warm, res.Warm)
+
+		// Re-attach through the info endpoint, then fetch the partition.
+		sess2, err := client.Session(ctx, sess.ID)
+		if err != nil {
+			t.Fatalf("%s info: %v", wire, err)
+		}
+		if sess2.Epoch() != sess.Epoch() {
+			t.Fatalf("%s info: epoch %d != %d", wire, sess2.Epoch(), sess.Epoch())
+		}
+		part, _, err := sess.Partition(ctx)
+		if err != nil {
+			t.Fatalf("%s partition: %v", wire, err)
+		}
+		tr.parts = append(tr.parts, part.Parts)
+		if err := sess.Close(ctx); err != nil {
+			t.Fatalf("%s close: %v", wire, err)
+		}
+		return tr
+	}
+
+	j, b := run("json"), run("binary")
+	if len(j.parts) != len(b.parts) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(j.parts), len(b.parts))
+	}
+	for i := range j.parts {
+		if !bytes.Equal(int32le(j.parts[i]), int32le(b.parts[i])) {
+			t.Fatalf("step %d: json and binary partitions differ", i)
+		}
+	}
+	for i := range j.warm {
+		if j.warm[i] != b.warm[i] {
+			t.Fatalf("warm flag %d differs across codecs", i)
+		}
+	}
+}
+
+// TestBinaryRejectsSameAsJSON checks that the same invalid hypergraph —
+// one pin out of range — is rejected as a 400 by both codecs, with both
+// error bodies naming the same validation failure (the codecs funnel into
+// one shared validation path and cannot drift).
+func TestBinaryRejectsSameAsJSON(t *testing.T) {
+	_, ts, _ := newTestServer(t, server.Config{})
+
+	jsonBody := `{"config":{"k":2,"alpha":10},"hypergraph":{"num_vertices":3,"nets":[{"cost":1,"pins":[7]}]}}`
+
+	// The binary frame for the same request: encode the valid one-pin
+	// variant, then patch the pin value. The hypergraph frame trails the
+	// create request with its last two bytes being (pin, cost).
+	tiny := hypergraph.NewBuilder(3)
+	tiny.AddNet(1, 0)
+	binBody := server.AppendCreateRequestBinary(nil,
+		server.WireConfigFrom(core.Config{K: 2, Alpha: 10}), tiny.Build())
+	binBody[len(binBody)-2] = 7
+
+	for _, tc := range []struct {
+		name, contentType string
+		body              []byte
+	}{
+		{"json", "application/json", []byte(jsonBody)},
+		{"binary", server.ContentTypeBinary, binBody},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/sessions", tc.contentType, bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: got HTTP %d (%s), want 400", tc.name, resp.StatusCode, data)
+		}
+		if !strings.Contains(string(data), "pin 7 out of range") {
+			t.Fatalf("%s: error body %q does not name the shared validation failure", tc.name, data)
+		}
+	}
+}
+
+// TestMalformedBinaryFrames posts adversarial binary bodies at the create
+// endpoint: truncations, corrupt magic, wrong version/message type, and
+// element-count bombs must all come back as clean 400s (JSON error body),
+// never 5xx, never a hang.
+func TestMalformedBinaryFrames(t *testing.T) {
+	_, ts, _ := newTestServer(t, server.Config{})
+	valid := server.AppendCreateRequestBinary(nil,
+		server.WireConfigFrom(core.Config{K: 2, Alpha: 10}), codecTestHypergraph(1))
+
+	post := func(name string, body []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/sessions", server.ContentTypeBinary, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: got HTTP %d, want 400", name, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s: error body Content-Type %q, want JSON", name, ct)
+		}
+	}
+
+	for i := 0; i < len(valid); i += 7 {
+		post("truncated", valid[:i])
+	}
+	post("empty", nil)
+
+	magic := append([]byte(nil), valid...)
+	magic[0] = 'X'
+	post("bad-magic", magic)
+
+	ver := append([]byte(nil), valid...)
+	ver[3] = 0xEE
+	post("bad-version", ver)
+
+	typ := append([]byte(nil), valid...)
+	typ[4] = 0x7F
+	post("bad-msg-type", typ)
+
+	trailing := append(append([]byte(nil), valid...), 0xAA)
+	post("trailing-bytes", trailing)
+
+	// Length prefix claiming ~2^28 pins in a tiny frame: the decoder must
+	// bound counts by the remaining frame bytes instead of allocating.
+	bomb := append([]byte(nil), valid[:16]...)
+	bomb = append(bomb, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F)
+	post("count-bomb", bomb)
+}
+
+// TestSingleflightCollapse fires identical create requests concurrently
+// at a server whose solver is artificially slowed: exactly the concurrent
+// duplicates must coalesce onto one leader (obs counters prove it), and
+// every response must carry the byte-identical partition.
+func TestSingleflightCollapse(t *testing.T) {
+	const concurrency = 6
+	_, ts, _ := newTestServer(t, server.Config{
+		Workers: concurrency + 2,
+		Fault:   &mpi.FaultPlan{Seed: 9, MaxDelay: 150 * time.Millisecond},
+	})
+	h := codecTestHypergraph(1)
+	sfLeaders := obs.Default().Counter("server_singleflight_leaders_total")
+	sfShared := obs.Default().Counter("server_singleflight_shared_total")
+
+	// The fault delay is pseudorandom per job, so one volley could in
+	// principle finish its leader before any follower arrives (cache hits
+	// all round, shared == 0). Distinct seeds give each attempt a fresh
+	// cache key; one collapsing volley proves the property.
+	for attempt := 0; attempt < 5; attempt++ {
+		cfg := core.Config{K: 4, Alpha: 100, Seed: int64(5 + attempt)}
+		leadersBefore, sharedBefore := sfLeaders.Load(), sfShared.Load()
+		var (
+			gate     = make(chan struct{})
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			parts    [][]int32
+			uncached int
+		)
+		for i := 0; i < concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := hyperbal.NewClient(ts.URL, hyperbal.ClientOptions{MaxRetries: 1, Backoff: time.Millisecond})
+				<-gate
+				_, res, err := client.CreateSession(context.Background(), cfg, h)
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				mu.Lock()
+				parts = append(parts, res.Partition.Parts)
+				if !res.Cached {
+					uncached++
+				}
+				mu.Unlock()
+			}()
+		}
+		close(gate)
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+
+		leaders := sfLeaders.Load() - leadersBefore
+		shared := sfShared.Load() - sharedBefore
+		if leaders < 1 {
+			t.Fatalf("no singleflight leader recorded (leaders=%d)", leaders)
+		}
+		if uncached != int(leaders) {
+			t.Fatalf("%d uncached responses but %d leaders", uncached, leaders)
+		}
+		for i := 1; i < len(parts); i++ {
+			if !bytes.Equal(int32le(parts[0]), int32le(parts[i])) {
+				t.Fatalf("response %d partition differs from leader's", i)
+			}
+		}
+		if shared >= 1 {
+			t.Logf("volley %d: %d leaders, %d shared, %d cached", attempt, leaders, shared, int64(len(parts))-leaders-shared)
+			return
+		}
+	}
+	t.Fatal("no volley produced a shared singleflight result in 5 attempts")
+}
+
+// TestEncodeHypergraphDoesNotAlias is the regression test for the
+// EncodeHypergraph aliasing footgun: the wire form's pin slices used to
+// alias the hypergraph's CSR storage, so callers mutating the wire object
+// silently corrupted a live session's base hypergraph.
+func TestEncodeHypergraphDoesNotAlias(t *testing.T) {
+	h := codecTestHypergraph(1)
+	fp := h.Fingerprint()
+	w := server.EncodeHypergraph(h)
+
+	for n := range w.Nets {
+		for i := range w.Nets[n].Pins {
+			w.Nets[n].Pins[i] = -99
+		}
+	}
+	if h.Fingerprint() != fp {
+		t.Fatal("mutating wire pins corrupted the source hypergraph")
+	}
+
+	// Appending through one net's pins must not run into the next net's
+	// storage (the slices share one backing array but have full capacity).
+	w2 := server.EncodeHypergraph(h)
+	before := append([]int32(nil), w2.Nets[1].Pins...)
+	w2.Nets[0].Pins = append(w2.Nets[0].Pins, 0)
+	if !bytes.Equal(int32le(before), int32le(w2.Nets[1].Pins)) {
+		t.Fatal("append through net 0 pins overwrote net 1 pins")
+	}
+}
+
+// codecTestHypergraph builds a small deterministic hypergraph; variant
+// perturbs weights so successive epochs actually drift.
+func codecTestHypergraph(variant int64) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(64)
+	for v := 0; v < 64; v++ {
+		b.SetWeight(v, 1+(int64(v)*variant)%7)
+	}
+	for n := 0; n < 96; n++ {
+		a := n % 64
+		c := (n*7 + 13) % 64
+		d := (n*13 + 29) % 64
+		b.AddNet(1+int64(n%3), a, c, d)
+	}
+	return b.Build()
+}
+
+func int32le(xs []int32) []byte {
+	out := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return out
+}

@@ -40,4 +40,15 @@ var (
 	obsDeltaDirtyPermille = obs.Default().Histogram("server_delta_dirty_permille", obs.LinBounds(50, 50, 20))
 	obsEpochWarmNs        = obs.Default().Histogram("server_epoch_warm_ns", obs.DurationBounds)
 	obsEpochColdNs        = obs.Default().Histogram("server_epoch_cold_ns", obs.DurationBounds)
+
+	// Wire codec accounting: payload bytes in/out per codec (json|binary;
+	// error bodies excluded — they are always JSON and tiny), time spent
+	// encoding/decoding per operation, and singleflight coalescing — one
+	// leader per distinct in-flight cold solve, one shared increment per
+	// concurrent request that adopted a leader's result instead of solving.
+	obsWireRxBytes         = obs.Default().CounterVec("server_wire_rx_bytes_total", "codec")
+	obsWireTxBytes         = obs.Default().CounterVec("server_wire_tx_bytes_total", "codec")
+	obsCodecNs             = obs.Default().HistogramVec("server_codec_ns", "op", obs.DurationBounds)
+	obsSingleflightLeaders = obs.Default().Counter("server_singleflight_leaders_total")
+	obsSingleflightShared  = obs.Default().Counter("server_singleflight_shared_total")
 )

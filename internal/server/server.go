@@ -26,9 +26,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"hyperbal/internal/core"
@@ -97,21 +100,23 @@ func (c Config) withDefaults() Config {
 // builds it, Handler returns the routed mux, Drain implements graceful
 // shutdown, Close releases background resources.
 type Server struct {
-	cfg   Config
-	store *store
-	adm   *admission
-	cache *partitionCache
-	mux   *http.ServeMux
+	cfg     Config
+	store   *store
+	adm     *admission
+	cache   *partitionCache
+	flights *flightGroup
+	mux     *http.ServeMux
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		store: newStore(cfg.SessionTTL),
-		adm:   newAdmission(cfg.Workers, cfg.QueueDepth),
-		cache: newPartitionCache(cfg.CacheEntries),
+		cfg:     cfg,
+		store:   newStore(cfg.SessionTTL),
+		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
+		cache:   newPartitionCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
@@ -223,22 +228,148 @@ func (s *Server) faultDelay(job int64) {
 	time.Sleep(d)
 }
 
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
-		return false
+// Pooled wire buffers: one pool serves both request-body reads and
+// response encodes. Buffers past the cap are dropped rather than pooled so
+// a single giant body cannot pin memory for the life of the process.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64<<10)
+		return &b
+	},
+}
+
+const maxPooledWireBuf = 4 << 20
+
+func getWireBuf() (*[]byte, []byte) {
+	bp := wireBufPool.Get().(*[]byte)
+	return bp, (*bp)[:0]
+}
+
+func putWireBuf(bp *[]byte, buf []byte) {
+	if cap(buf) <= maxPooledWireBuf {
+		*bp = buf[:0]
+		wireBufPool.Put(bp)
 	}
-	return true
+}
+
+// readBody slurps the request body into a pooled buffer. On success the
+// caller must invoke release once it is done with the returned bytes —
+// decoded hypergraphs never alias them, so release right after decoding.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, release func(), ok bool) {
+	bp, buf := getWireBuf()
+	lr := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			putWireBuf(bp, buf)
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+			return nil, nil, false
+		}
+	}
+	return buf, func() { putWireBuf(bp, buf) }, true
+}
+
+// isBinaryRequest reports whether the request body uses the binary wire
+// protocol (Content-Type: application/x-hyperbal).
+func isBinaryRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == ContentTypeBinary || strings.HasPrefix(ct, ContentTypeBinary+";")
+}
+
+// wantsBinary reports whether the client asked for binary responses
+// (Accept lists application/x-hyperbal).
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ContentTypeBinary)
+}
+
+// requestCodec labels the request body codec for the wire metrics.
+func requestCodec(r *http.Request) string {
+	if isBinaryRequest(r) {
+		return "binary"
+	}
+	return "json"
+}
+
+// writeNegotiated writes the success response in the codec the client
+// asked for: binEnc appends the binary rendering when Accept negotiates
+// application/x-hyperbal, otherwise jsonBody is marshaled. Both render
+// into a pooled buffer so the encode path allocates nothing per request
+// beyond what encoding/json itself needs.
+func writeNegotiated(w http.ResponseWriter, r *http.Request, status int, jsonBody any, binEnc func([]byte) []byte) {
+	bp, buf := getWireBuf()
+	if wantsBinary(r) {
+		start := time.Now()
+		buf = binEnc(buf)
+		obsCodecNs.With("binary_encode").ObserveSince(start)
+		obsWireTxBytes.With("binary").Add(int64(len(buf)))
+		w.Header().Set("Content-Type", ContentTypeBinary)
+	} else {
+		start := time.Now()
+		data, err := json.Marshal(jsonBody)
+		if err != nil {
+			putWireBuf(bp, buf)
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		buf = append(buf, data...)
+		buf = append(buf, '\n')
+		obsCodecNs.With("json_encode").ObserveSince(start)
+		obsWireTxBytes.With("json").Add(int64(len(buf)))
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+	putWireBuf(bp, buf)
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateSessionRequest
-	if !s.decodeBody(w, r, &req) {
+	body, releaseBuf, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
-	cfg, err := req.Config.ToCore()
+	codec := requestCodec(r)
+	obsWireRxBytes.With(codec).Add(int64(len(body)))
+	var (
+		wcfg WireConfig
+		h    *hypergraph.Hypergraph
+		fp   string
+	)
+	if codec == "binary" {
+		start := time.Now()
+		var err error
+		wcfg, h, fp, err = decodeCreateRequestBinary(body)
+		obsCodecNs.With("binary_decode").ObserveSince(start)
+		releaseBuf()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "binary: "+err.Error())
+			return
+		}
+	} else {
+		var req CreateSessionRequest
+		start := time.Now()
+		if err := json.Unmarshal(body, &req); err != nil {
+			releaseBuf()
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+			return
+		}
+		wcfg = req.Config
+		var err error
+		h, fp, err = req.Hypergraph.DecodeFingerprint()
+		obsCodecNs.With("json_decode").ObserveSince(start)
+		releaseBuf()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "hypergraph: "+err.Error())
+			return
+		}
+	}
+	cfg, err := wcfg.ToCore()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
@@ -246,11 +377,6 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	bal, err := core.NewBalancer(cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
-		return
-	}
-	h, err := req.Hypergraph.Decode()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "hypergraph: "+err.Error())
 		return
 	}
 
@@ -261,32 +387,35 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	eff := bal.Config()
-	key := cacheKey(eff, 0, h.Fingerprint(), partition.Partition{}, "")
-	var (
-		sess   *core.Session
-		res    core.Result
-		cached bool
-	)
-	if res, cached = s.cache.get(key); cached {
-		sess = core.NewSessionWith(bal, res)
-	} else {
+	key := cacheKey(eff, 0, fp, partition.Partition{}, "")
+	res, origin, err := s.solveShared(key, func() (core.Result, error) {
 		s.faultDelay(int64(obsSessionsCreated.Load() + 1))
-		sess, res, err = core.NewSession(bal, core.Problem{H: h})
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error())
-			return
+		_, res, err := core.NewSession(bal, core.Problem{H: h})
+		if err == nil {
+			s.cache.put(key, res)
 		}
-		s.cache.put(key, res)
+		return res, err
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
 	}
+	// Every origin takes the same construction path, so a session built
+	// from a cached, shared or freshly solved result is byte-identical.
+	sess := core.NewSessionWith(bal, res)
+	cached := origin != originLeader
 
-	entry := &session{id: newSessionID(), cfg: eff, sess: sess, baseH: h, baseFP: h.Fingerprint()}
+	entry := &session{id: newSessionID(), cfg: eff, sess: sess, baseH: h, baseFP: fp}
 	s.store.add(entry)
 	obsSessionsCreated.Inc()
 	s.cfg.Logf("server: session %s created (k=%d method=%s |V|=%d cached=%v)",
 		entry.id, eff.K, eff.Method, h.NumVertices(), cached)
-	writeJSON(w, http.StatusCreated, SessionResponse{
+	resp := SessionResponse{
 		SessionID: entry.id,
 		Result:    wireResult(0, res, cached, true),
+	}
+	writeNegotiated(w, r, http.StatusCreated, resp, func(buf []byte) []byte {
+		return appendSessionResponseBinary(buf, resp)
 	})
 }
 
@@ -296,15 +425,46 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "unknown session")
 		return
 	}
-	var req EpochRequest
-	if !s.decodeBody(w, r, &req) {
+	body, releaseBuf, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
-	h, err := req.Hypergraph.Decode()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "hypergraph: "+err.Error())
-		return
+	codec := requestCodec(r)
+	obsWireRxBytes.With(codec).Add(int64(len(body)))
+	var req binEpochRequest
+	if codec == "binary" {
+		start := time.Now()
+		breq, err := decodeEpochRequestBinary(body)
+		obsCodecNs.With("binary_decode").ObserveSince(start)
+		releaseBuf()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "binary: "+err.Error())
+			return
+		}
+		req = *breq
+	} else {
+		var jreq EpochRequest
+		start := time.Now()
+		if err := json.Unmarshal(body, &jreq); err != nil {
+			releaseBuf()
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+			return
+		}
+		h, fp, err := jreq.Hypergraph.DecodeFingerprint()
+		obsCodecNs.With("json_decode").ObserveSince(start)
+		releaseBuf()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "hypergraph: "+err.Error())
+			return
+		}
+		req = binEpochRequest{
+			H: h, FP: fp,
+			Inherited:        jreq.Inherited,
+			Epoch:            jreq.Epoch,
+			OnlyIfUnbalanced: jreq.OnlyIfUnbalanced,
+		}
 	}
+	h, fp := req.H, req.FP
 
 	release, ok := s.admit(w, r)
 	if !ok {
@@ -359,7 +519,7 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		if !should {
 			obsEpochSkipped.Inc()
 			cur := entry.sess.Current()
-			writeJSON(w, http.StatusOK, SessionResponse{
+			resp := SessionResponse{
 				SessionID: entry.id,
 				Result: WireResult{
 					Epoch:      epoch,
@@ -368,38 +528,49 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 					CommVolume: partition.CutSize(h, cur),
 					Rebalanced: false,
 				},
+			}
+			writeNegotiated(w, r, http.StatusOK, resp, func(buf []byte) []byte {
+				return appendSessionResponseBinary(buf, resp)
 			})
 			return
 		}
 	}
 
-	fp := h.Fingerprint()
 	key := cacheKey(entry.cfg, epoch+1, fp, inherited, "")
-	res, cached := s.cache.get(key)
-	if cached {
-		entry.sess.Adopt(res)
-	} else {
+	res, origin, err := s.solveShared(key, func() (core.Result, error) {
 		s.faultDelay(int64(obsEpochs.Load() + 1))
 		start := time.Now()
+		var res core.Result
+		var err error
 		if structural || len(req.Inherited) > 0 {
 			res, err = entry.sess.RebalanceInherited(core.Problem{H: h}, inherited)
 		} else {
 			res, err = entry.sess.Rebalance(core.Problem{H: h})
 		}
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error())
-			return
+		if err == nil {
+			obsEpochColdNs.ObserveSince(start)
+			s.cache.put(key, res)
 		}
-		obsEpochColdNs.ObserveSince(start)
-		s.cache.put(key, res)
+		return res, err
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	cached := origin != originLeader
+	if cached {
+		entry.sess.Adopt(res)
 	}
 	obsEpochs.Inc()
 	entry.baseH, entry.baseFP = h, fp
 
 	entry.lastMig = migrationSummary(h, inherited, res.Partition)
-	writeJSON(w, http.StatusOK, SessionResponse{
+	resp := SessionResponse{
 		SessionID: entry.id,
 		Result:    wireResult(entry.sess.Epoch(), res, cached, true),
+	}
+	writeNegotiated(w, r, http.StatusOK, resp, func(buf []byte) []byte {
+		return appendSessionResponseBinary(buf, resp)
 	})
 }
 
@@ -415,10 +586,40 @@ func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "unknown session")
 		return
 	}
-	var req DeltaEpochRequest
-	bodyBytes := r.ContentLength
-	if !s.decodeBody(w, r, &req) {
+	body, releaseBuf, ok := s.readBody(w, r)
+	if !ok {
 		return
+	}
+	codec := requestCodec(r)
+	bodyBytes := int64(len(body))
+	obsWireRxBytes.With(codec).Add(bodyBytes)
+	var req binDeltaRequest
+	if codec == "binary" {
+		start := time.Now()
+		breq, err := decodeDeltaRequestBinary(body)
+		obsCodecNs.With("binary_decode").ObserveSince(start)
+		releaseBuf()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "binary: "+err.Error())
+			return
+		}
+		req = *breq
+	} else {
+		var jreq DeltaEpochRequest
+		start := time.Now()
+		err := json.Unmarshal(body, &jreq)
+		obsCodecNs.With("json_decode").ObserveSince(start)
+		releaseBuf()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+			return
+		}
+		req = binDeltaRequest{
+			Delta:     &jreq.Delta,
+			Inherited: jreq.Inherited,
+			Epoch:     jreq.Epoch,
+			Warm:      jreq.Warm,
+		}
 	}
 
 	release, ok := s.admit(w, r)
@@ -479,7 +680,7 @@ func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
 		// Derive the inherited assignment from the delta's vertex map:
 		// mapped vertices keep their parts; new vertices go to the
 		// currently lightest part (deterministic: ties break low).
-		inherited = deriveInherited(h, old, &req.Delta, entry.cfg.K)
+		inherited = deriveInherited(h, old, req.Delta, entry.cfg.K)
 	}
 
 	var dirty []bool
@@ -499,12 +700,11 @@ func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey(entry.cfg, epoch+1, fp, inherited, warmKey)
-	res, cached := s.cache.get(key)
-	if cached {
-		entry.sess.Adopt(res)
-	} else {
+	res, origin, err := s.solveShared(key, func() (core.Result, error) {
 		s.faultDelay(int64(obsEpochs.Load() + 1))
 		start := time.Now()
+		var res core.Result
+		var err error
 		switch {
 		case req.Warm && (structural || len(req.Inherited) > 0):
 			res, err = entry.sess.RebalanceWarmInherited(core.Problem{H: h}, inherited, dirty)
@@ -515,16 +715,23 @@ func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
 		default:
 			res, err = entry.sess.Rebalance(core.Problem{H: h})
 		}
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error())
-			return
+		if err == nil {
+			if req.Warm {
+				obsEpochWarmNs.ObserveSince(start)
+			} else {
+				obsEpochColdNs.ObserveSince(start)
+			}
+			s.cache.put(key, res)
 		}
-		if req.Warm {
-			obsEpochWarmNs.ObserveSince(start)
-		} else {
-			obsEpochColdNs.ObserveSince(start)
-		}
-		s.cache.put(key, res)
+		return res, err
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	cached := origin != originLeader
+	if cached {
+		entry.sess.Adopt(res)
 	}
 	obsEpochs.Inc()
 	obsDeltaEpochs.Inc()
@@ -537,7 +744,10 @@ func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
 	entry.lastMig = migrationSummary(h, inherited, res.Partition)
 	wr := wireResult(entry.sess.Epoch(), res, cached, true)
 	wr.Warm = res.Warm
-	writeJSON(w, http.StatusOK, SessionResponse{SessionID: entry.id, Result: wr})
+	resp := SessionResponse{SessionID: entry.id, Result: wr}
+	writeNegotiated(w, r, http.StatusOK, resp, func(buf []byte) []byte {
+		return appendSessionResponseBinary(buf, resp)
+	})
 }
 
 // deriveInherited maps the previous distribution through a structural
@@ -589,13 +799,16 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
 	last := entry.sess.LastResult()
-	writeJSON(w, http.StatusOK, SessionInfo{
+	info := SessionInfo{
 		SessionID:  entry.id,
 		Config:     WireConfigFrom(entry.cfg),
 		Epoch:      entry.sess.Epoch(),
 		HistoryLen: entry.sess.HistoryLen(),
 		TotalCost:  entry.sess.TotalCost(entry.cfg.Alpha),
 		Last:       wireResult(entry.sess.Epoch(), last, false, true),
+	}
+	writeNegotiated(w, r, http.StatusOK, info, func(buf []byte) []byte {
+		return appendSessionInfoBinary(buf, info)
 	})
 }
 
@@ -608,12 +821,15 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
 	cur := entry.sess.Current()
-	writeJSON(w, http.StatusOK, PartitionResponse{
+	resp := PartitionResponse{
 		SessionID: entry.id,
 		Epoch:     entry.sess.Epoch(),
 		K:         cur.K,
 		Parts:     cur.Parts,
 		Migration: entry.lastMig,
+	}
+	writeNegotiated(w, r, http.StatusOK, resp, func(buf []byte) []byte {
+		return appendPartitionResponseBinary(buf, resp)
 	})
 }
 

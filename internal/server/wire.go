@@ -1,8 +1,6 @@
 package server
 
 import (
-	"fmt"
-
 	"hyperbal/internal/core"
 	"hyperbal/internal/hypergraph"
 )
@@ -32,8 +30,10 @@ type WireHypergraph struct {
 	Fixed       []int32   `json:"fixed,omitempty"`
 }
 
-// EncodeHypergraph renders h in wire form. Slices alias h's storage; the
-// result is for immediate marshaling, not mutation.
+// EncodeHypergraph renders h in wire form. Every slice is a copy — pin
+// lists included, backed by one shared allocation — so a caller mutating
+// the result cannot corrupt a live session's base hypergraph (the pins
+// used to alias h's CSR storage; see TestEncodeHypergraphDoesNotAlias).
 func EncodeHypergraph(h *hypergraph.Hypergraph) WireHypergraph {
 	w := WireHypergraph{
 		NumVertices: h.NumVertices(),
@@ -41,8 +41,11 @@ func EncodeHypergraph(h *hypergraph.Hypergraph) WireHypergraph {
 		Weights:     make([]int64, h.NumVertices()),
 		Sizes:       make([]int64, h.NumVertices()),
 	}
+	backing := make([]int32, 0, h.NumPins())
 	for n := 0; n < h.NumNets(); n++ {
-		w.Nets[n] = WireNet{Cost: h.Cost(n), Pins: h.Pins(n)}
+		start := len(backing)
+		backing = append(backing, h.Pins(n)...)
+		w.Nets[n] = WireNet{Cost: h.Cost(n), Pins: backing[start:len(backing):len(backing)]}
 	}
 	for v := 0; v < h.NumVertices(); v++ {
 		w.Weights[v] = h.Weight(v)
@@ -59,58 +62,40 @@ func EncodeHypergraph(h *hypergraph.Hypergraph) WireHypergraph {
 
 // Decode validates the wire hypergraph and builds the in-memory form.
 func (w WireHypergraph) Decode() (*hypergraph.Hypergraph, error) {
-	if w.NumVertices < 0 {
-		return nil, fmt.Errorf("num_vertices is negative")
+	h, _, err := w.DecodeFingerprint()
+	return h, err
+}
+
+// DecodeFingerprint is Decode returning the content fingerprint alongside
+// — computed once while building, so handlers never re-hash a hypergraph
+// they just decoded. Validation and construction are shared with the
+// binary codec (hypergraph.BuildFromWire), so the two codecs accept and
+// reject exactly the same hypergraphs.
+func (w WireHypergraph) DecodeFingerprint() (*hypergraph.Hypergraph, string, error) {
+	total := 0
+	for _, net := range w.Nets {
+		total += len(net.Pins)
 	}
-	if len(w.Weights) != 0 && len(w.Weights) != w.NumVertices {
-		return nil, fmt.Errorf("weights has %d entries, want 0 or %d", len(w.Weights), w.NumVertices)
-	}
-	if len(w.Sizes) != 0 && len(w.Sizes) != w.NumVertices {
-		return nil, fmt.Errorf("sizes has %d entries, want 0 or %d", len(w.Sizes), w.NumVertices)
-	}
-	if len(w.Fixed) != 0 && len(w.Fixed) != w.NumVertices {
-		return nil, fmt.Errorf("fixed has %d entries, want 0 or %d", len(w.Fixed), w.NumVertices)
-	}
-	b := hypergraph.NewBuilder(w.NumVertices)
-	for i, v := range w.Weights {
-		if v < 0 {
-			return nil, fmt.Errorf("vertex %d has negative weight %d", i, v)
-		}
-		b.SetWeight(i, v)
-	}
-	for i, v := range w.Sizes {
-		if v < 0 {
-			return nil, fmt.Errorf("vertex %d has negative size %d", i, v)
-		}
-		b.SetSize(i, v)
-	}
-	for i, p := range w.Fixed {
-		if p == hypergraph.Free {
-			continue
-		}
-		if p < 0 {
-			return nil, fmt.Errorf("vertex %d has invalid fixed label %d", i, p)
-		}
-		b.Fix(i, int(p))
-	}
-	pins := make([]int, 0, 64)
+	costs := make([]int64, len(w.Nets))
+	netSizes := make([]int32, len(w.Nets))
+	pins := make([]int32, 0, total)
 	for n, net := range w.Nets {
-		if net.Cost < 0 {
-			return nil, fmt.Errorf("net %d has negative cost %d", n, net.Cost)
-		}
-		if len(net.Pins) == 0 {
-			return nil, fmt.Errorf("net %d is empty", n)
-		}
-		pins = pins[:0]
-		for _, p := range net.Pins {
-			if p < 0 || int(p) >= w.NumVertices {
-				return nil, fmt.Errorf("net %d: pin %d out of range [0,%d)", n, p, w.NumVertices)
-			}
-			pins = append(pins, int(p))
-		}
-		b.AddNet(net.Cost, pins...)
+		costs[n] = net.Cost
+		netSizes[n] = int32(len(net.Pins))
+		pins = append(pins, net.Pins...)
 	}
-	return b.Build(), nil
+	var weights, sizes []int64
+	var fixed []int32
+	if len(w.Weights) != 0 {
+		weights = append([]int64(nil), w.Weights...)
+	}
+	if len(w.Sizes) != 0 {
+		sizes = append([]int64(nil), w.Sizes...)
+	}
+	if len(w.Fixed) != 0 {
+		fixed = append([]int32(nil), w.Fixed...)
+	}
+	return hypergraph.BuildFromWire(w.NumVertices, costs, netSizes, pins, weights, sizes, fixed)
 }
 
 // WireConfig is the JSON form of core.Config; Method uses the paper name
