@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -39,6 +40,9 @@ var (
 	obsClientRequests = obs.Default().CounterVec("client_requests_total", "op")
 	obsClientRetries  = obs.Default().Counter("client_retries_total")
 	obsClientErrors   = obs.Default().Counter("client_errors_total")
+	// 307 + X-Hyperbal-Owner answers followed to a session's new replica
+	// (the serving tier handed the session off during a drain).
+	obsClientOwnerHops = obs.Default().Counter("client_owner_redirects_total")
 	// Request-body bytes per operation: the "epoch" vs "delta" split is the
 	// wire-savings measurement the delta-drift benchmark reports.
 	obsClientBytesSent = obs.Default().CounterVec("client_bytes_sent_total", "op")
@@ -175,17 +179,57 @@ func jsonBody(in any) ([]byte, string, error) {
 	return b, "application/json", err
 }
 
+// backoffDelay computes the full-jitter retry delay for an attempt:
+// uniform in [0, min(base<<attempt, max)). u is the uniform [0,1) sample
+// (injected so tests can pin it). Full jitter keeps the cap's protection
+// while decorrelating clients: with the old deterministic doubling, every
+// client rejected by the same 429/503 burst retried on the same schedule
+// and re-collided each round.
+func backoffDelay(attempt int, base, max time.Duration, u float64) time.Duration {
+	ceil := base
+	for i := 0; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	d := time.Duration(u * float64(ceil))
+	if d < time.Millisecond {
+		d = time.Millisecond // never busy-spin, even for tiny u
+	}
+	return d
+}
+
 // do performs one API call with the retry/backoff policy. body/contentType
 // carry a pre-rendered request payload (nil body for GET/DELETE); a nil out
-// skips decoding. Returns the final status code.
-func (c *Client) do(ctx context.Context, op, method, path string, body []byte, contentType string, out any) (int, error) {
+// skips decoding. owner, when non-nil, is the session's redirect override:
+// 307 + X-Hyperbal-Owner answers update it and the call is re-issued at
+// the new owner; a transport error at an owner falls back to the primary
+// base URL. Returns the final status code.
+func (c *Client) do(ctx context.Context, op, method, path string, body []byte, contentType string, out any, owner *string) (int, error) {
 	obsClientRequests.With(op).Inc()
 	if body != nil {
 		obsClientBytesSent.With(op).Add(int64(len(body)))
 	}
-	backoff := c.opt.Backoff
-	for attempt := 0; ; attempt++ {
-		status, err := c.attempt(ctx, method, path, body, contentType, out)
+	hops := 0
+	for attempt := 0; ; {
+		base := c.base
+		if owner != nil && *owner != "" {
+			base = *owner
+		}
+		status, moved, err := c.attempt(ctx, base, method, path, body, contentType, out)
+		if moved != "" && owner != nil {
+			// The replica handed the session off; chase the new owner
+			// without consuming a retry or backing off.
+			hops++
+			if hops > 4 {
+				obsClientErrors.Inc()
+				return status, &APIError{Status: status, Code: "moved", Msg: "redirect loop chasing session owner"}
+			}
+			obsClientOwnerHops.Inc()
+			*owner = strings.TrimRight(moved, "/")
+			continue
+		}
 		if err == nil {
 			return status, nil
 		}
@@ -194,6 +238,12 @@ func (c *Client) do(ctx context.Context, op, method, path string, body []byte, c
 			return status, nr
 		}
 		// Transport error or retryable API status.
+		if status == 0 && owner != nil && *owner != "" {
+			// The handed-off owner is unreachable (it may have finished
+			// shutting down); fall back to the primary base, which can
+			// answer or re-redirect.
+			*owner = ""
+		}
 		if attempt >= c.opt.MaxRetries {
 			obsClientErrors.Inc()
 			return status, err
@@ -203,28 +253,26 @@ func (c *Client) do(ctx context.Context, op, method, path string, body []byte, c
 		case <-ctx.Done():
 			obsClientErrors.Inc()
 			return status, ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(backoffDelay(attempt, c.opt.Backoff, c.opt.MaxBackoff, rand.Float64())):
 		}
-		backoff *= 2
-		if backoff > c.opt.MaxBackoff {
-			backoff = c.opt.MaxBackoff
-		}
+		attempt++
 	}
 }
 
-// attempt performs one HTTP round trip. Retryable failures come back as a
-// non-nil error; non-retryable API errors are decoded into *APIError and
-// returned with err == nil so do() stops retrying.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, contentType string, out any) (int, error) {
+// attempt performs one HTTP round trip against base. Retryable failures
+// come back as a non-nil error; non-retryable API errors are decoded into
+// *APIError and returned with err == nil so do() stops retrying. moved
+// carries the X-Hyperbal-Owner target of a 307 handoff redirect.
+func (c *Client) attempt(ctx context.Context, base, method, path string, body []byte, contentType string, out any) (status int, moved string, err error) {
 	actx, cancel := context.WithTimeout(ctx, c.opt.RequestTimeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, base+path, rd)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
@@ -236,10 +284,16 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
-		return 0, err // transport error: retry
+		return 0, "", err // transport error: retry
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
+	if resp.StatusCode == http.StatusTemporaryRedirect {
+		if o := resp.Header.Get(server.OwnerHeader); o != "" {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+			return resp.StatusCode, o, nil
+		}
+	}
+	if resp.StatusCode >= 300 {
 		var apiErr server.ErrorResponse
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		_ = json.Unmarshal(data, &apiErr)
@@ -248,20 +302,20 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		}
 		e := &APIError{Status: resp.StatusCode, Code: apiErr.Code, Msg: apiErr.Error}
 		if retryable(resp.StatusCode) {
-			return resp.StatusCode, e // plain error: do() retries
+			return resp.StatusCode, "", e // plain error: do() retries
 		}
-		return resp.StatusCode, errNonRetryable{e}
+		return resp.StatusCode, "", errNonRetryable{e}
 	}
 	if out != nil {
 		data, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return resp.StatusCode, fmt.Errorf("balancerd: reading response: %w", err)
+			return resp.StatusCode, "", fmt.Errorf("balancerd: reading response: %w", err)
 		}
 		if err := decodeResponse(resp.Header.Get("Content-Type"), data, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("balancerd: decoding response: %w", err)
+			return resp.StatusCode, "", fmt.Errorf("balancerd: decoding response: %w", err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, "", nil
 }
 
 // decodeResponse dispatches on the response Content-Type: servers that
@@ -318,6 +372,10 @@ func unwrapFinal(err error) error {
 type RemoteSession struct {
 	c  *Client
 	ID string
+	// owner, when non-empty, is the base URL of the replica this session
+	// was handed off to (learned from a 307 + X-Hyperbal-Owner answer);
+	// requests go there until it becomes unreachable.
+	owner string
 	// epoch mirrors the server-side epoch for conflict-checked submissions.
 	epoch int64
 	// baseH is the last hypergraph this client successfully submitted —
@@ -346,7 +404,7 @@ func (c *Client) CreateSession(ctx context.Context, cfg BalancerConfig, h *Hyper
 		return nil, RemoteResult{}, err
 	}
 	var resp server.SessionResponse
-	if _, err := c.do(ctx, "create", http.MethodPost, "/v1/sessions", body, ct, &resp); err != nil {
+	if _, err := c.do(ctx, "create", http.MethodPost, "/v1/sessions", body, ct, &resp, nil); err != nil {
 		return nil, RemoteResult{}, unwrapFinal(err)
 	}
 	return &RemoteSession{c: c, ID: resp.SessionID, baseH: h}, remoteResult(resp.Result), nil
@@ -355,11 +413,13 @@ func (c *Client) CreateSession(ctx context.Context, cfg BalancerConfig, h *Hyper
 // Session returns a handle for an existing server-side session id,
 // synchronizing the epoch counter from the server.
 func (c *Client) Session(ctx context.Context, id string) (*RemoteSession, error) {
+	s := &RemoteSession{c: c, ID: id}
 	var info server.SessionInfo
-	if _, err := c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+id, nil, "", &info); err != nil {
+	if _, err := c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+id, nil, "", &info, &s.owner); err != nil {
 		return nil, unwrapFinal(err)
 	}
-	return &RemoteSession{c: c, ID: id, epoch: info.Epoch}, nil
+	s.epoch = info.Epoch
+	return s, nil
 }
 
 // SubmitEpoch submits a drifted hypergraph with an unchanged vertex set;
@@ -439,7 +499,7 @@ func (s *RemoteSession) submit(ctx context.Context, h *Hypergraph, inherited []i
 		return RemoteResult{}, err
 	}
 	var resp server.SessionResponse
-	status, err := s.c.do(ctx, "epoch", http.MethodPost, "/v1/sessions/"+s.ID+"/epochs", body, ct, &resp)
+	status, err := s.c.do(ctx, "epoch", http.MethodPost, "/v1/sessions/"+s.ID+"/epochs", body, ct, &resp, &s.owner)
 	if err != nil {
 		if status == http.StatusConflict {
 			// A retried submission may have landed before its response was
@@ -479,7 +539,7 @@ func (s *RemoteSession) submitDelta(ctx context.Context, d *hypergraph.Delta, in
 		return RemoteResult{}, err
 	}
 	var resp server.SessionResponse
-	status, err := s.c.do(ctx, "delta", http.MethodPatch, "/v1/sessions/"+s.ID+"/epochs", body, ct, &resp)
+	status, err := s.c.do(ctx, "delta", http.MethodPatch, "/v1/sessions/"+s.ID+"/epochs", body, ct, &resp, &s.owner)
 	if err != nil {
 		if status == http.StatusConflict {
 			var apiErr *APIError
@@ -511,7 +571,7 @@ func (s *RemoteSession) submitDelta(ctx context.Context, d *hypergraph.Delta, in
 // the expected epoch, its last result IS our submission's result.
 func (s *RemoteSession) reconcile(ctx context.Context, expected int64) (RemoteResult, error) {
 	var info server.SessionInfo
-	if _, err := s.c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+s.ID, nil, "", &info); err != nil {
+	if _, err := s.c.do(ctx, "info", http.MethodGet, "/v1/sessions/"+s.ID, nil, "", &info, &s.owner); err != nil {
 		return RemoteResult{}, unwrapFinal(err)
 	}
 	if expected == 0 || info.Epoch != expected {
@@ -529,7 +589,7 @@ func (s *RemoteSession) Epoch() int64 { return s.epoch }
 // plan summary of the latest epoch (nil before the first rebalance).
 func (s *RemoteSession) Partition(ctx context.Context) (Partition, *RemoteMigration, error) {
 	var resp server.PartitionResponse
-	if _, err := s.c.do(ctx, "partition", http.MethodGet, "/v1/sessions/"+s.ID+"/partition", nil, "", &resp); err != nil {
+	if _, err := s.c.do(ctx, "partition", http.MethodGet, "/v1/sessions/"+s.ID+"/partition", nil, "", &resp, &s.owner); err != nil {
 		return Partition{}, nil, unwrapFinal(err)
 	}
 	return Partition{Parts: resp.Parts, K: resp.K}, resp.Migration, nil
@@ -537,6 +597,6 @@ func (s *RemoteSession) Partition(ctx context.Context) (Partition, *RemoteMigrat
 
 // Close deletes the server-side session.
 func (s *RemoteSession) Close(ctx context.Context) error {
-	_, err := s.c.do(ctx, "delete", http.MethodDelete, "/v1/sessions/"+s.ID, nil, "", nil)
+	_, err := s.c.do(ctx, "delete", http.MethodDelete, "/v1/sessions/"+s.ID, nil, "", nil, &s.owner)
 	return unwrapFinal(err)
 }

@@ -9,12 +9,21 @@
 //	balancerd [-addr :8080] [-workers N] [-queue 256] [-session-ttl 15m]
 //	          [-cache 4096] [-drain-timeout 30s] [-addr-file path]
 //	          [-fault-max-delay 0] [-fault-seed 1] [-metrics-addr ""]
+//	          [-self URL -peers URL,URL,...]
+//	balancerd -gateway -replicas URL,URL,... [-addr :8080]
 //
 // The API mux itself serves /metrics and /metrics.json; -metrics-addr
 // additionally starts the internal/obs debug server (with /debug/pprof)
 // on a separate address. On SIGTERM/SIGINT the daemon drains: in-flight
 // and queued epochs complete, new submissions get 503, the listener
 // closes, and the process exits 0.
+//
+// Distributed serving: start N replicas, each with -self set to its own
+// reachable URL and -peers to the full replica list, then a gateway with
+// -gateway -replicas pointing at the same list. Replicas answer each
+// other's partition-cache lookups and hand their sessions to a ring
+// successor when drained; the gateway shards session ids across the
+// replicas by consistent hashing with bounded loads.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,9 +60,22 @@ func main() {
 		faultSeed     = flag.Int64("fault-seed", 1, "fault injection: seed for -fault-max-delay")
 
 		metricsAddr = flag.String("metrics-addr", "", "additionally serve the obs debug server (/metrics, /debug/pprof) on this address")
+
+		self        = flag.String("self", "", "this replica's externally reachable base URL (enables cache peering / drain handoff with -peers)")
+		peers       = flag.String("peers", "", "comma-separated replica base URLs, including -self")
+		peerTimeout = flag.Duration("peer-timeout", 75*time.Millisecond, "bound on a peer cache lookup before solving locally (<0 disables peering lookups)")
+
+		gateway    = flag.Bool("gateway", false, "run as a routing gateway over -replicas instead of a replica")
+		replicas   = flag.String("replicas", "", "gateway: comma-separated replica base URLs")
+		loadFactor = flag.Float64("load-factor", 1.25, "gateway: bounded-load placement factor")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "balancerd: ", log.LstdFlags|log.Lmicroseconds)
+
+	if *gateway {
+		runGateway(logger, *addr, *addrFile, *replicas, *loadFactor, *drainT)
+		return
+	}
 
 	cfg := server.Config{
 		Workers:      *workers,
@@ -60,7 +83,13 @@ func main() {
 		SessionTTL:   *ttl,
 		CacheEntries: *cache,
 		MaxBodyBytes: *maxBody,
+		Self:         *self,
+		Peers:        splitURLs(*peers),
+		PeerTimeout:  *peerTimeout,
 		Logf:         logger.Printf,
+	}
+	if cfg.Self != "" && len(cfg.Peers) > 0 {
+		logger.Printf("replica set: self=%s peers=%v", cfg.Self, cfg.Peers)
 	}
 	if *faultMaxDelay > 0 {
 		cfg.Fault = &mpi.FaultPlan{Seed: *faultSeed, MaxDelay: *faultMaxDelay}
@@ -129,4 +158,65 @@ func cfgWorkers(cfg server.Config) int {
 		return cfg.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// splitURLs parses a comma-separated URL list, trimming trailing slashes.
+func splitURLs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runGateway is the -gateway mode: a routing tier over -replicas.
+func runGateway(logger *log.Logger, addr, addrFile, replicas string, loadFactor float64, drainT time.Duration) {
+	urls := splitURLs(replicas)
+	if len(urls) == 0 {
+		logger.Fatalf("-gateway requires -replicas URL,URL,...")
+	}
+	gw, err := server.NewGateway(server.GatewayConfig{
+		Replicas:   urls,
+		LoadFactor: loadFactor,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("gateway: %v", err)
+	}
+	defer gw.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", addr, err)
+	}
+	bound := ln.Addr().String()
+	logger.Printf("gateway on http://%s over %d replicas %v", bound, len(urls), urls)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Fatalf("addr-file: %v", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v; shutting down", s)
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainT)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("exited cleanly")
 }

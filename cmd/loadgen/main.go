@@ -29,6 +29,13 @@
 // group collapses the identical cold solves to one leader, and the bench
 // snapshot records the leader/shared split.
 //
+// -scenario replica-kill drives a distributed deployment (-addr pointing at
+// the gateway) and SIGTERMs the balancerd replica with pid -kill-pid after
+// -kill-after: the replica drains, hands its sessions to a ring successor,
+// and the run must finish with zero dropped epochs — the gateway retarget
+// and client retry counters quantify the disruption window. -think paces
+// each session between epochs so the run spans the kill.
+//
 // By default every session runs the identical workload (same seed), which
 // exercises the server's fingerprint-keyed partition cache: the first
 // session computes each epoch, the rest are cache hits. -distinct-seeds
@@ -46,6 +53,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hyperbal"
@@ -81,8 +89,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		distinct = flag.Bool("distinct-seeds", false, "give every session its own seed (defeats the partition cache)")
 		wireList = flag.String("wire", "binary", "comma-separated wire codecs to run (binary|json); each gets a full independent run")
-		scenario = flag.String("scenario", "", "named scenario: delta-drift (PATCH deltas) or concurrent-identical (singleflight collapse)")
+		scenario = flag.String("scenario", "", "named scenario: delta-drift (PATCH deltas), concurrent-identical (singleflight collapse), or replica-kill (SIGTERM a replica mid-run)")
 		warm     = flag.Bool("warm", false, "ask the server to warm-start delta epochs from the inherited distribution (delta-drift only)")
+
+		killPid   = flag.Int("kill-pid", 0, "replica-kill: pid of the balancerd replica to SIGTERM mid-run")
+		killAfter = flag.Duration("kill-after", 2*time.Second, "replica-kill: delay from run start to the SIGTERM")
+		think     = flag.Duration("think", 0, "pause between a session's epochs (paces the run, e.g. across a replica kill)")
 
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 		retries = flag.Int("retries", 5, "max retries per request")
@@ -107,8 +119,17 @@ func main() {
 		useDelta = true
 	case "concurrent-identical":
 		barrier = true
+	case "replica-kill":
+		if *killPid <= 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -scenario replica-kill requires -kill-pid")
+			os.Exit(2)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown scenario %q (have: delta-drift, concurrent-identical)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown scenario %q (have: delta-drift, concurrent-identical, replica-kill)\n", *scenario)
+		os.Exit(2)
+	}
+	if *killPid > 0 && *scenario != "replica-kill" {
+		fmt.Fprintln(os.Stderr, "loadgen: -kill-pid requires -scenario replica-kill")
 		os.Exit(2)
 	}
 	if *warm && !useDelta {
@@ -138,6 +159,7 @@ func main() {
 			names: names, n: *n, k: *k, alpha: *alpha, m: m, dynamic: *dynamic,
 			seed: *seed, distinct: *distinct, useDelta: useDelta, warm: *warm,
 			barrier: barrier, scenario: *scenario,
+			killPid: *killPid, killAfter: *killAfter, think: *think,
 			timeout: *timeout, retries: *retries,
 			benchJSON: *benchJSON, benchLabel: label, checkSchema: *checkSchema,
 		}) {
@@ -169,6 +191,11 @@ type loadRun struct {
 	// (concurrent-identical scenario).
 	barrier  bool
 	scenario string
+	// replica-kill scenario: SIGTERM killPid after killAfter; think paces
+	// sessions between epochs so the run spans the kill.
+	killPid   int
+	killAfter time.Duration
+	think     time.Duration
 
 	timeout time.Duration
 	retries int
@@ -199,6 +226,20 @@ func runLoad(rc loadRun) bool {
 	var failures atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
+	if rc.killPid > 0 {
+		killTimer := time.AfterFunc(rc.killAfter, func() {
+			proc, err := os.FindProcess(rc.killPid)
+			if err == nil {
+				err = proc.Signal(syscall.SIGTERM)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: replica-kill: SIGTERM pid %d: %v\n", rc.killPid, err)
+				return
+			}
+			fmt.Printf("loadgen: replica-kill: SIGTERM sent to pid %d after %s\n", rc.killPid, rc.killAfter.Round(time.Millisecond))
+		})
+		defer killTimer.Stop()
+	}
 	for i := 0; i < rc.sessions; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -211,7 +252,7 @@ func runLoad(rc loadRun) bool {
 			if gate != nil {
 				<-gate
 			}
-			if err := runSession(client, name, rc.n, rc.k, rc.alpha, rc.m, rc.dynamic, sseed, rc.epochs, rc.useDelta, rc.warm); err != nil {
+			if err := runSession(client, name, rc.n, rc.k, rc.alpha, rc.m, rc.dynamic, sseed, rc.epochs, rc.useDelta, rc.warm, rc.think); err != nil {
 				failures.Add(1)
 				fmt.Fprintf(os.Stderr, "loadgen: session %d (%s): %v\n", i, name, err)
 			}
@@ -277,6 +318,12 @@ func runLoad(rc loadRun) bool {
 	if rc.barrier {
 		fmt.Printf("  singleflight     %d leaders, %d shared followers\n", sfLeaders, sfShared)
 	}
+	ownerHops := snapshotCounter("client_owner_redirects_total")
+	gwRetargets := counterDiff(before, snap, "gateway_retargets_total")
+	if rc.killPid > 0 {
+		fmt.Printf("  replica kill     %d gateway retargets, %d client owner redirects, %d client retries\n",
+			gwRetargets, ownerHops, snapshotCounter("client_retries_total"))
+	}
 	if rc.checkSchema != "" {
 		if snap == nil {
 			fmt.Fprintln(os.Stderr, "loadgen: -check-schema: could not fetch server metrics")
@@ -314,6 +361,9 @@ func runLoad(rc loadRun) bool {
 			ServerTxBytes:        txBytes,
 			SingleflightLeaders:  sfLeaders,
 			SingleflightShared:   sfShared,
+			OwnerRedirects:       ownerHops,
+			GatewayRetargets:     gwRetargets,
+			SessionsFailed:       failures.Load(),
 			ServerDeltaBytes:     serverDeltaBytes,
 			ServerDeltaFullEst:   serverDeltaFullEst,
 			ServerWarmAvgMs:      warmAvgMs,
@@ -334,7 +384,7 @@ func runLoad(rc loadRun) bool {
 // hypergraph (the client falls back to full submissions transparently);
 // warm additionally asks the server to warm-start from the inherited
 // distribution.
-func runSession(client *hyperbal.Client, dataset string, n, k int, alpha int64, m core.Method, dynamic string, seed int64, epochs int, useDelta, warm bool) error {
+func runSession(client *hyperbal.Client, dataset string, n, k int, alpha int64, m core.Method, dynamic string, seed int64, epochs int, useDelta, warm bool, think time.Duration) error {
 	ctx := context.Background()
 	g, err := datasets.Generate(dataset, n, seed)
 	if err != nil {
@@ -380,6 +430,9 @@ func runSession(client *hyperbal.Client, dataset string, n, k int, alpha int64, 
 	}
 
 	for e := 1; e <= epochs; e++ {
+		if think > 0 {
+			time.Sleep(think)
+		}
 		prob, old := gen.Next()
 		t := time.Now()
 		var res hyperbal.RemoteResult
@@ -531,6 +584,13 @@ type benchSnapshot struct {
 	ServerTxBytes       int64 `json:"server_tx_bytes,omitempty"`
 	SingleflightLeaders int64 `json:"singleflight_leaders,omitempty"`
 	SingleflightShared  int64 `json:"singleflight_shared,omitempty"`
+	// Replica-kill scenario accounting: the disruption window of a replica
+	// SIGTERM mid-run, as seen by the client (307 owner redirects followed)
+	// and the gateway (retargeted requests). SessionsFailed must stay 0 —
+	// drain handoff is required to lose no sessions.
+	OwnerRedirects   int64 `json:"client_owner_redirects,omitempty"`
+	GatewayRetargets int64 `json:"gateway_retargets,omitempty"`
+	SessionsFailed   int64 `json:"sessions_failed,omitempty"`
 	ServerDeltaBytes     int64   `json:"server_delta_bytes,omitempty"`
 	ServerDeltaFullEst   int64   `json:"server_delta_full_bytes_est,omitempty"`
 	ServerWarmAvgMs      float64 `json:"server_warm_avg_ms,omitempty"`

@@ -66,6 +66,19 @@ func NewSessionWith(bal *Balancer, res Result) *Session {
 	return s
 }
 
+// NewSessionAt returns a running session restored at a given epoch — the
+// handoff path of a distributed serving tier adopting a session serialized
+// by another replica. res must be the session's last load-balance result
+// (its partition becomes the current distribution) and epoch the number of
+// completed operations; the next Rebalance then runs with exactly the
+// inputs the originating replica would have used, so post-handoff results
+// stay byte-identical to an uninterrupted run. History starts over at res.
+func NewSessionAt(bal *Balancer, res Result, epoch int64) *Session {
+	s := NewSessionWith(bal, res)
+	s.epoch = epoch
+	return s
+}
+
 // Balancer returns the balancer the session partitions with.
 func (s *Session) Balancer() *Balancer { return s.bal }
 

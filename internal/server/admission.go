@@ -21,6 +21,7 @@ type admission struct {
 	mu       sync.Mutex
 	draining bool
 	admitted int // running + queued jobs
+	running  int // jobs holding a worker slot (gauge source; guarded by mu)
 	limit    int // workers + queue
 	workers  int
 	slots    chan struct{} // buffered; a held token = a running job
@@ -63,13 +64,21 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 
 	select {
 	case a.slots <- struct{}{}:
-		a.updateGauges()
+		a.mu.Lock()
+		a.running++
+		a.gaugesLocked()
+		a.mu.Unlock()
 		return func() {
-			<-a.slots
+			// Book-keep under the lock before freeing the slot: a queued
+			// job woken by the free slot increments running only after this
+			// decrement, so the in-flight gauge never exceeds the worker
+			// count and queue depth never goes transiently negative.
 			a.mu.Lock()
+			a.running--
 			a.admitted--
 			a.gaugesLocked()
 			a.mu.Unlock()
+			<-a.slots
 			a.wg.Done()
 		}, nil
 	case <-ctx.Done():
@@ -109,19 +118,11 @@ func (a *admission) isDraining() bool {
 }
 
 // gaugesLocked refreshes the queue/in-flight gauges; a.mu must be held.
+// running and admitted are both mutated under the same lock, so the pair
+// of gauges is always a consistent snapshot (the pre-fix code sampled
+// len(a.slots) outside any slot/lock ordering, racing the post-acquire
+// snapshot into transiently impossible queue depths).
 func (a *admission) gaugesLocked() {
-	running := len(a.slots)
-	if running > a.admitted {
-		running = a.admitted
-	}
-	obsInFlight.Set(int64(running))
-	obsQueueDepth.Set(int64(a.admitted - running))
-}
-
-// updateGauges refreshes the gauges without the lock held (monitoring-
-// grade snapshot after a slot transition).
-func (a *admission) updateGauges() {
-	a.mu.Lock()
-	a.gaugesLocked()
-	a.mu.Unlock()
+	obsInFlight.Set(int64(a.running))
+	obsQueueDepth.Set(int64(a.admitted - a.running))
 }

@@ -97,6 +97,10 @@ func (c *partitionCache) put(key string, res core.Result) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The gauge is refreshed on every exit path — including the
+	// existing-key early return — so it can never go stale relative to the
+	// real entry count (it used to be set only on the insert path).
+	defer func() { obsCacheEntries.Set(int64(c.ll.Len())) }()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		return
@@ -115,7 +119,6 @@ func (c *partitionCache) put(key string, res core.Result) {
 		c.ll.Remove(last)
 		delete(c.m, last.Value.(*cacheEntry).key)
 	}
-	obsCacheEntries.Set(int64(c.ll.Len()))
 }
 
 // len returns the current entry count.

@@ -1,0 +1,422 @@
+package server_test
+
+// End-to-end tests for the distributed serving tier: a gateway sharding
+// sessions across replicas, fingerprint-keyed cache peering between the
+// replicas, and drain-time session handoff. The acceptance bar mirrors the
+// single-replica e2e suite: partitions served by an N-replica deployment
+// must be byte-identical to the single-process core.Session run.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hyperbal"
+	"hyperbal/internal/core"
+	"hyperbal/internal/datasets"
+	"hyperbal/internal/graph"
+	"hyperbal/internal/obs"
+	"hyperbal/internal/server"
+)
+
+// replicaSet is an in-process N-replica deployment plus its gateway.
+type replicaSet struct {
+	servers []*server.Server
+	listen  []*httptest.Server
+	urls    []string
+	gw      *server.Gateway
+	client  *hyperbal.Client
+}
+
+func newReplicaSet(t *testing.T, n int, cfg server.Config) *replicaSet {
+	t.Helper()
+	rs := &replicaSet{}
+	for i := 0; i < n; i++ {
+		srv := server.New(cfg)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+		rs.servers = append(rs.servers, srv)
+		rs.listen = append(rs.listen, ts)
+		rs.urls = append(rs.urls, ts.URL)
+	}
+	for i, srv := range rs.servers {
+		srv.SetPeering(rs.urls[i], rs.urls)
+	}
+	gw, err := server.NewGateway(server.GatewayConfig{
+		Replicas:       rs.urls,
+		HealthInterval: -1, // liveness is learned from transport errors
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(func() { gts.Close(); gw.Close() })
+	rs.gw = gw
+	rs.client = hyperbal.NewClient(gts.URL, hyperbal.ClientOptions{MaxRetries: 3, Backoff: 5 * time.Millisecond})
+	return rs
+}
+
+func (rs *replicaSet) totalSessions() int {
+	n := 0
+	for _, s := range rs.servers {
+		n += s.Sessions()
+	}
+	return n
+}
+
+// genHypergraph builds a deterministic small test hypergraph.
+func genHypergraph(t *testing.T, n int, seed int64) *hyperbal.Hypergraph {
+	t.Helper()
+	g, err := datasets.Generate("auto", n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.ToHypergraph(g)
+}
+
+func counterValue(name string) int64 { return obs.Default().Counter(name).Load() }
+
+// TestDistributedByteIdentity: three replicas behind a gateway must serve
+// partitions byte-identical to the in-process core.Session run, for the
+// Zoltan-repart method under both drift modes.
+func TestDistributedByteIdentity(t *testing.T) {
+	rs := newReplicaSet(t, 3, server.Config{SessionTTL: -1})
+	for _, dynamic := range []string{"weights", "structure"} {
+		t.Run(dynamic, func(t *testing.T) {
+			cfg := core.Config{K: 4, Alpha: 50, Seed: 17, Method: core.HypergraphRepart}
+			const n, epochs = 300, 3
+			remote := runRemote(t, rs.client, cfg, "xyce680s", n, 17, epochs, dynamic)
+			local := runLocal(t, cfg, "xyce680s", n, 17, epochs, dynamic)
+			if len(remote.parts) != len(local.parts) {
+				t.Fatalf("epoch count mismatch: %d vs %d", len(remote.parts), len(local.parts))
+			}
+			for e := range remote.parts {
+				if !int32Equal(remote.parts[e], local.parts[e]) {
+					t.Errorf("epoch %d: gateway-served partition differs from in-process result", e)
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedSessionSharding: many sessions created through the
+// gateway must actually spread across the replicas (the point of the
+// tier), and every one must stay reachable.
+func TestDistributedSessionSharding(t *testing.T) {
+	rs := newReplicaSet(t, 3, server.Config{SessionTTL: -1})
+	ctx := context.Background()
+	h := genHypergraph(t, 120, 21)
+	cfg := hyperbal.BalancerConfig{K: 2, Alpha: 50, Seed: 9, Method: core.HypergraphRepart}
+	const sessions = 12
+	var handles []*hyperbal.RemoteSession
+	for i := 0; i < sessions; i++ {
+		sess, _, err := rs.client.CreateSession(ctx, cfg, h)
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		handles = append(handles, sess)
+	}
+	if got := rs.totalSessions(); got != sessions {
+		t.Fatalf("replicas hold %d sessions, created %d", got, sessions)
+	}
+	populated := 0
+	for i, srv := range rs.servers {
+		n := srv.Sessions()
+		t.Logf("replica %d holds %d sessions", i, n)
+		if n > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("only %d replicas hold sessions — sharding is not spreading", populated)
+	}
+	for i, sess := range handles {
+		if _, _, err := sess.Partition(ctx); err != nil {
+			t.Fatalf("session %d unreachable through gateway: %v", i, err)
+		}
+	}
+}
+
+// TestDrainHandoffLosesNoSessions: draining a replica must move every one
+// of its sessions to a peer, keep them serving through the gateway, and
+// preserve their state byte-for-byte (the continued epochs must match an
+// uninterrupted local run).
+func TestDrainHandoffLosesNoSessions(t *testing.T) {
+	rs := newReplicaSet(t, 3, server.Config{SessionTTL: -1})
+	cfg := core.Config{K: 4, Alpha: 50, Seed: 23, Method: core.HypergraphRepart}
+	const n, preEpochs, postEpochs = 300, 2, 2
+
+	sentBefore := counterValue("server_handoff_sessions_total")
+	local := runLocal(t, cfg, "xyce680s", n, 23, preEpochs+postEpochs, "weights")
+	remote := runRemoteWithDrain(t, rs, cfg, "xyce680s", n, 23, preEpochs, postEpochs, "weights")
+
+	if len(remote.parts) != len(local.parts) {
+		t.Fatalf("epoch count mismatch: %d vs %d", len(remote.parts), len(local.parts))
+	}
+	for e := range local.parts {
+		if !int32Equal(remote.parts[e], local.parts[e]) {
+			t.Errorf("epoch %d: partition diverged across the drain handoff", e)
+		}
+	}
+	if got := counterValue("server_handoff_sessions_total"); got <= sentBefore {
+		t.Error("no session was handed off — the drain path did not exercise handoff")
+	}
+}
+
+// runRemoteWithDrain mirrors runRemote, but drains the replica holding the
+// session after preEpochs epochs, then continues for postEpochs more.
+func runRemoteWithDrain(t *testing.T, rs *replicaSet, cfg core.Config, dsName string, n int, seed int64, preEpochs, postEpochs int, dynamic string) epochTrace {
+	t.Helper()
+	ctx := context.Background()
+	g, err := datasets.Generate(dsName, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := graph.ToHypergraph(g)
+	sess, first, err := rs.client.CreateSession(ctx, cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := epochTrace{parts: [][]int32{first.Partition.Parts}}
+	gen := newGen(t, dynamic, g, first.Partition, cfg.K, seed)
+	submit := func(e int) {
+		prob, old := gen.Next()
+		res, err := sess.SubmitEpochInherited(ctx, prob.H, old)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		tr.parts = append(tr.parts, res.Partition.Parts)
+		if err := gen.Observe(res.Partition); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 1; e <= preEpochs; e++ {
+		submit(e)
+	}
+
+	// Drain the replica holding the session: it must hand the session to a
+	// ring successor, and the gateway must find it there.
+	before := rs.totalSessions()
+	drained := false
+	for i, srv := range rs.servers {
+		if srv.Sessions() == 0 {
+			continue
+		}
+		dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := srv.Drain(dctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("drain replica %d: %v", i, err)
+		}
+		if srv.Sessions() != 0 {
+			t.Fatalf("replica %d still holds %d sessions after drain", i, srv.Sessions())
+		}
+		drained = true
+		break
+	}
+	if !drained {
+		t.Fatal("no replica held the session")
+	}
+	if got := rs.totalSessions(); got != before {
+		t.Fatalf("sessions lost in handoff: %d before drain, %d after", before, got)
+	}
+
+	for e := preEpochs + 1; e <= preEpochs+postEpochs; e++ {
+		submit(e)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestOwnerRedirectFollowedByClient: with no gateway in the path, a client
+// whose replica drains must transparently follow the 307 +
+// X-Hyperbal-Owner tombstone to the session's new replica.
+func TestOwnerRedirectFollowedByClient(t *testing.T) {
+	rs := newReplicaSet(t, 2, server.Config{SessionTTL: -1})
+	ctx := context.Background()
+	h := genHypergraph(t, 150, 31)
+	cfg := hyperbal.BalancerConfig{K: 2, Alpha: 50, Seed: 13, Method: core.HypergraphRepart}
+
+	redirectsBefore := counterValue("server_owner_redirects_total")
+	hopsBefore := counterValue("client_owner_redirects_total")
+
+	// Talk to replica 0 directly, bypassing the gateway.
+	direct := hyperbal.NewClient(rs.urls[0], hyperbal.ClientOptions{MaxRetries: 3, Backoff: 5 * time.Millisecond})
+	sess, first, err := direct.CreateSession(ctx, cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.servers[0].Sessions() != 1 {
+		t.Fatal("session not on replica 0")
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := rs.servers[0].Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	if rs.servers[1].Sessions() != 1 {
+		t.Fatalf("session was not handed to replica 1 (holds %d)", rs.servers[1].Sessions())
+	}
+
+	// The client still points at replica 0; the partition fetch must chase
+	// the tombstone and return the exact pre-drain state.
+	p, _, err := sess.Partition(ctx)
+	if err != nil {
+		t.Fatalf("post-drain fetch through tombstone: %v", err)
+	}
+	if !int32Equal(p.Parts, first.Partition.Parts) {
+		t.Error("partition served by the new owner differs from pre-drain state")
+	}
+	if got := counterValue("server_owner_redirects_total"); got <= redirectsBefore {
+		t.Error("the drained replica answered without an owner redirect")
+	}
+	if got := counterValue("client_owner_redirects_total"); got <= hopsBefore {
+		t.Error("the client never followed an owner redirect")
+	}
+}
+
+// TestPeerCacheHit: a workload already solved on one replica must be
+// adopted over the peering protocol when replayed on another replica, for
+// every cache key the first replica owns on the ring.
+func TestPeerCacheHit(t *testing.T) {
+	rs := newReplicaSet(t, 2, server.Config{SessionTTL: -1})
+	ctx := context.Background()
+	cfg := hyperbal.BalancerConfig{K: 2, Alpha: 50, Seed: 41, Method: core.HypergraphRepart}
+
+	hitsBefore := counterValue("server_peer_hits_total")
+	servedBefore := counterValue("server_peer_served_total")
+
+	a := hyperbal.NewClient(rs.urls[0], hyperbal.ClientOptions{Backoff: 5 * time.Millisecond})
+	b := hyperbal.NewClient(rs.urls[1], hyperbal.ClientOptions{Backoff: 5 * time.Millisecond})
+
+	// Solve a spread of distinct problems on replica 0, then replay each on
+	// replica 1: keys owned by replica 0 come back over peering (about half
+	// the seeds, so a dozen attempts always exercises it), and the adopted
+	// results must be byte-identical to the original solves.
+	for seed := int64(0); seed < 12; seed++ {
+		h := genHypergraph(t, 100, 100+seed)
+		sa, ra, err := a.CreateSession(ctx, cfg, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, rb, err := b.CreateSession(ctx, cfg, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !int32Equal(ra.Partition.Parts, rb.Partition.Parts) {
+			t.Fatalf("seed %d: peer-adopted result differs from the original solve", seed)
+		}
+		_ = sa.Close(ctx)
+		_ = sb.Close(ctx)
+	}
+	if got := counterValue("server_peer_hits_total"); got <= hitsBefore {
+		t.Error("no peer cache hit across 12 distinct keys — peering is not being consulted")
+	}
+	if got := counterValue("server_peer_served_total"); got <= servedBefore {
+		t.Error("no replica served a peer lookup")
+	}
+}
+
+// TestPeerTimeoutDegradesToLocalSolve: a hung peer must cost at most
+// PeerTimeout — the replica then solves locally and the request succeeds.
+func TestPeerTimeoutDegradesToLocalSolve(t *testing.T) {
+	// A peer that accepts connections and never answers.
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer hung.Close()
+
+	srv := server.New(server.Config{SessionTTL: -1, PeerTimeout: 20 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	srv.SetPeering(ts.URL, []string{ts.URL, hung.URL})
+
+	timeoutsBefore := counterValue("server_peer_timeouts_total")
+
+	client := hyperbal.NewClient(ts.URL, hyperbal.ClientOptions{Backoff: 5 * time.Millisecond})
+	cfg := hyperbal.BalancerConfig{K: 2, Alpha: 50, Seed: 7, Method: core.HypergraphRepart}
+	ctx := context.Background()
+	for seed := int64(0); seed < 12; seed++ {
+		h := genHypergraph(t, 100, 200+seed)
+		start := time.Now()
+		sess, res, err := client.CreateSession(ctx, cfg, h)
+		if err != nil {
+			t.Fatalf("seed %d: create failed instead of degrading: %v", seed, err)
+		}
+		if len(res.Partition.Parts) != 100 {
+			t.Fatalf("seed %d: degenerate result", seed)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("seed %d: create took %s — peer timeout not bounding the lookup", seed, d)
+		}
+		_ = sess.Close(ctx)
+	}
+	if got := counterValue("server_peer_timeouts_total"); got <= timeoutsBefore {
+		t.Error("no peer timeout recorded across 12 keys — the hung peer was never consulted")
+	}
+}
+
+// TestGatewayReplicaDeathFailover: when a replica dies without draining,
+// creates must keep succeeding (routed to survivors) and requests for its
+// sessions must answer a clean 404 — not hang, not a 5xx loop.
+func TestGatewayReplicaDeathFailover(t *testing.T) {
+	rs := newReplicaSet(t, 3, server.Config{SessionTTL: -1})
+	ctx := context.Background()
+	h := genHypergraph(t, 100, 51)
+	cfg := hyperbal.BalancerConfig{K: 2, Alpha: 50, Seed: 3, Method: core.HypergraphRepart}
+
+	var handles []*hyperbal.RemoteSession
+	for i := 0; i < 9; i++ {
+		sess, _, err := rs.client.CreateSession(ctx, cfg, h)
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		handles = append(handles, sess)
+	}
+
+	// Kill the replica holding the most sessions, without drain.
+	victim, most := -1, -1
+	for i, srv := range rs.servers {
+		if n := srv.Sessions(); n > most {
+			victim, most = i, n
+		}
+	}
+	rs.listen[victim].CloseClientConnections()
+	rs.listen[victim].Close()
+	t.Logf("killed replica %d holding %d sessions", victim, most)
+
+	// Creates must keep landing on survivors.
+	for i := 0; i < 4; i++ {
+		if _, _, err := rs.client.CreateSession(ctx, cfg, h); err != nil {
+			t.Fatalf("create after replica death: %v", err)
+		}
+	}
+	// Sessions on the dead replica died with it (no drain): expect 404.
+	lost, served := 0, 0
+	for _, sess := range handles {
+		_, _, err := sess.Partition(ctx)
+		if err == nil {
+			served++
+			continue
+		}
+		var apiErr *hyperbal.APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			lost++
+			continue
+		}
+		t.Fatalf("session fetch after replica death: %v (want success or 404)", err)
+	}
+	if lost != most {
+		t.Errorf("lost %d sessions, the dead replica held %d", lost, most)
+	}
+	if served != len(handles)-most {
+		t.Errorf("%d sessions served, want %d", served, len(handles)-most)
+	}
+}

@@ -51,4 +51,43 @@ var (
 	obsCodecNs             = obs.Default().HistogramVec("server_codec_ns", "op", obs.DurationBounds)
 	obsSingleflightLeaders = obs.Default().Counter("server_singleflight_leaders_total")
 	obsSingleflightShared  = obs.Default().Counter("server_singleflight_shared_total")
+	// Followers that re-raced the flight map after a leader error (one of
+	// them retries the solve instead of fanning the error out as a 5xx
+	// volley).
+	obsSingleflightRetries = obs.Default().Counter("server_singleflight_retries_total")
+
+	// Cache peering and drain handoff (the distributed serving tier).
+	// peer_hits: partition-cache misses answered by the key's owner replica
+	// (byte-identical by parallelism invariance, adopted without a solve).
+	// peer_misses: owner asked but had no entry; peer_timeouts: owner did
+	// not answer within PeerTimeout (degraded to a local solve);
+	// peer_errors: transport/decode failures, same degradation.
+	// peer_served: lookups this replica answered for its peers.
+	obsPeerHits     = obs.Default().Counter("server_peer_hits_total")
+	obsPeerMisses   = obs.Default().Counter("server_peer_misses_total")
+	obsPeerTimeouts = obs.Default().Counter("server_peer_timeouts_total")
+	obsPeerErrors   = obs.Default().Counter("server_peer_errors_total")
+	obsPeerServed   = obs.Default().Counter("server_peer_served_total")
+	// Drain-time session-state handoff: sessions serialized to a successor
+	// replica, sessions adopted from a draining peer, and sessions that
+	// could not be placed anywhere (kept locally, at risk of loss).
+	obsHandoffSent     = obs.Default().Counter("server_handoff_sessions_total")
+	obsHandoffReceived = obs.Default().Counter("server_handoff_received_total")
+	obsHandoffFailed   = obs.Default().Counter("server_handoff_failed_total")
+	// 307 answers pointing a caller at a session's post-handoff owner.
+	obsOwnerRedirects = obs.Default().Counter("server_owner_redirects_total")
+)
+
+// Gateway-side handles (the routing tier shares the registry; a process is
+// either a gateway or a replica, so the families never mix in one dump).
+var (
+	obsGwRequests  = obs.Default().CounterVec("gateway_requests_total", "route")
+	obsGwRequestNs = obs.Default().HistogramVec("gateway_request_ns", "route", obs.DurationBounds)
+	// Proxy attempts that moved past their first-choice replica: transport
+	// errors (replica marked down), 404 probes across ring candidates, and
+	// 307 owner redirects followed.
+	obsGwRetargets    = obs.Default().Counter("gateway_retargets_total")
+	obsGwReplicaDown  = obs.Default().Counter("gateway_replica_down_total")
+	obsGwPlaced       = obs.Default().Gauge("gateway_placed_sessions")
+	obsGwReplicaAlive = obs.Default().Gauge("gateway_replicas_alive")
 )

@@ -17,7 +17,7 @@ import (
 // must satisfy testdata/serve_schema.json — the same contract the CI smoke
 // job asserts through `loadgen -check-schema`.
 func TestMetricsSchema(t *testing.T) {
-	_, ts, client := newTestServer(t, server.Config{})
+	srv, ts, client := newTestServer(t, server.Config{})
 	ctx := context.Background()
 	g, err := datasets.Generate("xyce680s", 200, 13)
 	if err != nil {
@@ -51,5 +51,20 @@ func TestMetricsSchema(t *testing.T) {
 	}
 	if err := obs.CheckSnapshot(snap, schema); err != nil {
 		t.Fatal(err)
+	}
+
+	// Gauge consistency after a quiesced workload: the admission gauges must
+	// have returned to zero (they are derived from locked bookkeeping, not
+	// the racy channel length), and the cache-entries gauge must agree with
+	// the cache's actual size (put refreshes it on every path, including the
+	// duplicate-key early return).
+	if got := snap.Gauges["server_inflight_epochs"]; got != 0 {
+		t.Errorf("server_inflight_epochs = %d after the workload quiesced, want 0", got)
+	}
+	if got := snap.Gauges["server_queue_depth"]; got != 0 {
+		t.Errorf("server_queue_depth = %d after the workload quiesced, want 0", got)
+	}
+	if got, want := snap.Gauges["server_cache_entries"], int64(srv.CacheLen()); got != want {
+		t.Errorf("server_cache_entries = %d, but the cache holds %d entries", got, want)
 	}
 }

@@ -64,6 +64,21 @@ type Config struct {
 	// timeout/retry paths deterministically. Other FaultPlan fields are
 	// message-level and ignored here.
 	Fault *mpi.FaultPlan
+
+	// Self is this replica's externally reachable base URL; Peers is the
+	// full replica list (including Self). When both are set the replica
+	// participates in cache peering and drain-time session handoff
+	// (see peering.go). Tests that only learn their URL after binding can
+	// leave these empty and call SetPeering instead.
+	Self  string
+	Peers []string
+	// PeerTimeout bounds a peer cache lookup; past it the replica solves
+	// locally (default 75ms; negative disables peering lookups).
+	PeerTimeout time.Duration
+	// HandoffTimeout bounds one drain-time session handoff POST
+	// (default 5s).
+	HandoffTimeout time.Duration
+
 	// Logf, when non-nil, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -90,6 +105,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.PeerTimeout == 0 {
+		c.PeerTimeout = 75 * time.Millisecond
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 5 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -106,17 +127,31 @@ type Server struct {
 	cache   *partitionCache
 	flights *flightGroup
 	mux     *http.ServeMux
+
+	// Replica-set state (peering.go): the consistent-hash ring over the
+	// replica URLs, this replica's own URL, the HTTP client used for peer
+	// lookups and handoffs, and the post-handoff forwarding tombstones.
+	peerMu   sync.RWMutex
+	self     string
+	peerRing *ring
+	peerHTTP *http.Client
+	handedMu sync.Mutex
+	handed   map[string]string
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		store:   newStore(cfg.SessionTTL),
-		adm:     newAdmission(cfg.Workers, cfg.QueueDepth),
-		cache:   newPartitionCache(cfg.CacheEntries),
-		flights: newFlightGroup(),
+		cfg:      cfg,
+		store:    newStore(cfg.SessionTTL),
+		adm:      newAdmission(cfg.Workers, cfg.QueueDepth),
+		cache:    newPartitionCache(cfg.CacheEntries),
+		flights:  newFlightGroup(),
+		peerHTTP: &http.Client{},
+	}
+	if cfg.Self != "" && len(cfg.Peers) > 0 {
+		s.SetPeering(cfg.Self, cfg.Peers)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
@@ -126,6 +161,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}/partition", s.route("partition", s.handlePartition))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.route("delete", s.handleDelete))
 	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /internal/cache/{key}", s.route("peer_cache", s.handlePeerCache))
+	mux.HandleFunc("POST /internal/handoff", s.route("handoff", s.handleHandoff))
 	mux.Handle("GET /metrics", obs.Handler(obs.Default()))
 	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -140,8 +177,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops admitting new partitioning work (subsequent submissions get
 // 503) and waits, bounded by ctx, for every in-flight and queued epoch to
-// complete. Read endpoints keep serving; call the http.Server's Shutdown
-// after Drain to close the listener.
+// complete; with peering configured it then hands every live session to
+// its ring successor so a rolling restart loses no session state. Read
+// endpoints keep serving (handed-off sessions answer 307 +
+// X-Hyperbal-Owner); call the http.Server's Shutdown after Drain to close
+// the listener.
 func (s *Server) Drain(ctx context.Context) error {
 	s.cfg.Logf("server: draining (completing in-flight epochs)")
 	err := s.adm.drain(ctx)
@@ -150,6 +190,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	} else {
 		s.cfg.Logf("server: drained")
 	}
+	s.handoffAll(ctx)
 	return err
 }
 
@@ -162,6 +203,10 @@ func (s *Server) Close() { s.store.close() }
 
 // Sessions returns the number of live sessions (for tests and health).
 func (s *Server) Sessions() int { return s.store.len() }
+
+// CacheLen returns the partition cache's current entry count (for tests
+// asserting gauge consistency).
+func (s *Server) CacheLen() int { return s.cache.len() }
 
 // statusWriter records the response code for the per-route metrics.
 type statusWriter struct {
@@ -386,9 +431,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// A gateway pre-assigns the session id (X-Hyperbal-Session-ID) so the
+	// id it hashes for routing is the id the replica stores; direct clients
+	// leave the header empty and get a server-generated id.
+	id := r.Header.Get(SessionIDHeader)
+	switch {
+	case id == "":
+		id = newSessionID()
+	case !validSessionID(id):
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid "+SessionIDHeader+" (want s-<32 hex>)")
+		return
+	case s.store.get(id) != nil:
+		writeError(w, http.StatusConflict, "duplicate_session", "session id already exists")
+		return
+	}
+
 	eff := bal.Config()
 	key := cacheKey(eff, 0, fp, partition.Partition{}, "")
-	res, origin, err := s.solveShared(key, func() (core.Result, error) {
+	res, origin, err := s.solveShared(r.Context(), key, func() (core.Result, error) {
 		s.faultDelay(int64(obsSessionsCreated.Load() + 1))
 		_, res, err := core.NewSession(bal, core.Problem{H: h})
 		if err == nil {
@@ -405,7 +465,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	sess := core.NewSessionWith(bal, res)
 	cached := origin != originLeader
 
-	entry := &session{id: newSessionID(), cfg: eff, sess: sess, baseH: h, baseFP: fp}
+	entry := &session{id: id, cfg: eff, sess: sess, baseH: h, baseFP: fp}
+	s.clearHandoff(id)
 	s.store.add(entry)
 	obsSessionsCreated.Inc()
 	s.cfg.Logf("server: session %s created (k=%d method=%s |V|=%d cached=%v)",
@@ -420,11 +481,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	entry := s.store.get(r.PathValue("id"))
+	entry, releaseSess := s.store.acquire(r.PathValue("id"))
 	if entry == nil {
-		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		s.sessionGone(w, r.PathValue("id"))
 		return
 	}
+	defer releaseSess()
 	body, releaseBuf, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -476,7 +538,6 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	// other sessions proceed on other workers.
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
-	defer entry.touch()
 
 	epoch := entry.sess.Epoch()
 	if req.Epoch > 0 && req.Epoch != epoch+1 {
@@ -537,7 +598,7 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey(entry.cfg, epoch+1, fp, inherited, "")
-	res, origin, err := s.solveShared(key, func() (core.Result, error) {
+	res, origin, err := s.solveShared(r.Context(), key, func() (core.Result, error) {
 		s.faultDelay(int64(obsEpochs.Load() + 1))
 		start := time.Now()
 		var res core.Result
@@ -581,11 +642,12 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 // base) is a 409 "fingerprint_mismatch" carrying the current base — the
 // client's hard signal to fall back to a full epoch submission.
 func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
-	entry := s.store.get(r.PathValue("id"))
+	entry, releaseSess := s.store.acquire(r.PathValue("id"))
 	if entry == nil {
-		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		s.sessionGone(w, r.PathValue("id"))
 		return
 	}
+	defer releaseSess()
 	body, releaseBuf, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -630,7 +692,6 @@ func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
 
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
-	defer entry.touch()
 
 	epoch := entry.sess.Epoch()
 	if req.Epoch > 0 && req.Epoch != epoch+1 {
@@ -700,7 +761,7 @@ func (s *Server) handleDeltaEpoch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey(entry.cfg, epoch+1, fp, inherited, warmKey)
-	res, origin, err := s.solveShared(key, func() (core.Result, error) {
+	res, origin, err := s.solveShared(r.Context(), key, func() (core.Result, error) {
 		s.faultDelay(int64(obsEpochs.Load() + 1))
 		start := time.Now()
 		var res core.Result
@@ -791,11 +852,12 @@ func fullWireEstimate(h *hypergraph.Hypergraph) int64 {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	entry := s.store.get(r.PathValue("id"))
+	entry, releaseSess := s.store.acquire(r.PathValue("id"))
 	if entry == nil {
-		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		s.sessionGone(w, r.PathValue("id"))
 		return
 	}
+	defer releaseSess()
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
 	last := entry.sess.LastResult()
@@ -813,11 +875,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
-	entry := s.store.get(r.PathValue("id"))
+	entry, releaseSess := s.store.acquire(r.PathValue("id"))
 	if entry == nil {
-		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		s.sessionGone(w, r.PathValue("id"))
 		return
 	}
+	defer releaseSess()
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
 	cur := entry.sess.Current()
@@ -839,7 +902,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeError(w, http.StatusNotFound, "not_found", "unknown session")
+	s.sessionGone(w, r.PathValue("id"))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 
 	"hyperbal/internal/core"
@@ -39,46 +40,84 @@ const (
 	originLeader solveOrigin = iota // this caller ran fn
 	originShared                    // adopted a concurrent leader's result
 	originCached                    // served from the partition cache
+	originPeer                      // adopted from a peer replica's cache
 )
 
 // solveShared returns the result for key, consulting the partition cache
-// first, then coalescing concurrent misses: one caller (the leader) runs
-// fn — which must also publish to the cache on success — and every
-// concurrent caller with the same key waits and shares the byte-identical
-// result. Followers receive a cloned partition so no two sessions alias
-// part storage.
-func (s *Server) solveShared(key string, fn func() (core.Result, error)) (core.Result, solveOrigin, error) {
-	if res, ok := s.cache.get(key); ok {
-		return res, originCached, nil
-	}
-	g := s.flights
-	g.mu.Lock()
-	if f, ok := g.m[key]; ok {
+// first, then a peer replica's cache (when cache peering is configured and
+// another replica owns the key — see peering.go), then coalescing
+// concurrent misses: one caller (the leader) runs fn — which must also
+// publish to the cache on success — and every concurrent caller with the
+// same key waits and shares the byte-identical result. Followers receive a
+// cloned partition so no two sessions alias part storage.
+//
+// Two liveness properties of the follower wait:
+//
+//   - It selects on ctx, so a caller whose request is canceled (client gone,
+//     deadline hit) unblocks immediately instead of being pinned to the
+//     leader's wall clock.
+//   - A leader error does not fan out to every follower: transient failures
+//     (fault-injected delays, resource blips) would turn one failed solve
+//     into a 5xx volley. Instead the followers loop — one of them wins the
+//     flight map and retries the solve as the new leader, the rest follow
+//     the new flight. Each round retires the caller that ran fn (it returns
+//     its own result or error), so the retry cascade is bounded by the
+//     concurrent caller count.
+func (s *Server) solveShared(ctx context.Context, key string, fn func() (core.Result, error)) (core.Result, solveOrigin, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, originShared, err
+		}
+		if res, ok := s.cache.get(key); ok {
+			return res, originCached, nil
+		}
+		g := s.flights
+		g.mu.Lock()
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			obsSingleflightShared.Inc()
+			select {
+			case <-ctx.Done():
+				return core.Result{}, originShared, ctx.Err()
+			case <-f.done:
+			}
+			if f.err != nil {
+				obsSingleflightRetries.Inc()
+				continue // race to become the new leader and retry the solve
+			}
+			res := f.res
+			res.Partition = partition.Partition{
+				Parts: append([]int32(nil), f.res.Partition.Parts...),
+				K:     f.res.Partition.K,
+			}
+			return res, originShared, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		g.m[key] = f
 		g.mu.Unlock()
-		obsSingleflightShared.Inc()
-		<-f.done
+
+		origin := originLeader
+		if res, ok := s.peerFetch(ctx, key); ok {
+			// The key's owner replica already holds the byte-identical
+			// result; adopt it and publish locally so followers (and later
+			// arrivals) share it without a solve.
+			origin = originPeer
+			s.cache.put(key, res)
+			f.res, f.err = res, nil
+		} else {
+			obsSingleflightLeaders.Inc()
+			f.res, f.err = fn()
+		}
+
+		// fn published to the cache before this point, so a caller arriving
+		// after the delete below misses the flight but hits the cache.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
 		if f.err != nil {
-			return core.Result{}, originShared, f.err
+			return core.Result{}, origin, f.err
 		}
-		res := f.res
-		res.Partition = partition.Partition{
-			Parts: append([]int32(nil), f.res.Partition.Parts...),
-			K:     f.res.Partition.K,
-		}
-		return res, originShared, nil
+		return f.res, origin, nil
 	}
-	f := &flight{done: make(chan struct{})}
-	g.m[key] = f
-	g.mu.Unlock()
-	obsSingleflightLeaders.Inc()
-
-	f.res, f.err = fn()
-
-	// The leader's fn published to the cache before this point, so a caller
-	// arriving after the delete below misses the flight but hits the cache.
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(f.done)
-	return f.res, originLeader, f.err
 }

@@ -30,6 +30,14 @@ type session struct {
 	baseFP string
 
 	lastAccess atomic.Int64 // unix nanos, for TTL eviction
+
+	// busy counts handlers currently working on this session. The TTL
+	// janitor never evicts a busy session: lastAccess alone is touched at
+	// lookup time, so a cold solve longer than the TTL used to get its
+	// session deleted while the handler still held it — the next request
+	// 404'd and the result was orphaned. Incremented under the store's read
+	// lock (sweep holds the write lock, so it never observes a torn state).
+	busy atomic.Int32
 }
 
 func (s *session) touch() { s.lastAccess.Store(time.Now().UnixNano()) }
@@ -70,13 +78,17 @@ func (st *store) janitor(interval time.Duration) {
 	}
 }
 
-// sweep evicts sessions whose last access is older than ttl. A session
-// mid-epoch is never evicted: epoch handlers hold a reference and touch
-// the session when done, and eviction only deletes the map entry.
+// sweep evicts sessions whose last access is older than ttl, skipping any
+// session a handler currently holds (busy refcount > 0) — the handler
+// touches the session when it releases, so a long solve just restarts the
+// idle clock instead of orphaning its result.
 func (st *store) sweep(now time.Time) {
 	cutoff := now.Add(-st.ttl).UnixNano()
 	st.mu.Lock()
 	for id, s := range st.m {
+		if s.busy.Load() > 0 {
+			continue
+		}
 		if s.lastAccess.Load() < cutoff {
 			delete(st.m, id)
 			obsSessionsEvicted.Inc()
@@ -102,6 +114,39 @@ func (st *store) get(id string) *session {
 		s.touch()
 	}
 	return s
+}
+
+// acquire is get plus a busy hold: the returned release must be called
+// exactly once when the handler is done with the session. While held, the
+// TTL janitor will not evict the session regardless of how long the
+// handler's solve takes; release touches the session so the idle clock
+// restarts at completion time, not at lookup time.
+func (st *store) acquire(id string) (*session, func()) {
+	st.mu.RLock()
+	s := st.m[id]
+	if s != nil {
+		s.busy.Add(1)
+	}
+	st.mu.RUnlock()
+	if s == nil {
+		return nil, nil
+	}
+	s.touch()
+	return s, func() {
+		s.touch()
+		s.busy.Add(-1)
+	}
+}
+
+// snapshot returns every live session (for drain-time handoff).
+func (st *store) snapshot() []*session {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*session, 0, len(st.m))
+	for _, s := range st.m {
+		out = append(out, s)
+	}
+	return out
 }
 
 func (st *store) remove(id string) bool {

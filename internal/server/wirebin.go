@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 
+	"hyperbal/internal/core"
 	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/partition"
 )
 
 // Binary wire protocol of the balancerd API: the same messages as the JSON
@@ -37,6 +39,11 @@ const (
 	binMsgSessionResponse
 	binMsgPartitionResponse
 	binMsgSessionInfo
+	// Replica-to-replica messages of the distributed serving tier: a
+	// peer-cache lookup answer (GET /internal/cache/{key}) and a drain-time
+	// session-state handoff (POST /internal/handoff).
+	binMsgCacheResult
+	binMsgHandoff
 )
 
 // Result frame flags.
@@ -357,6 +364,103 @@ func decodeDeltaRequestBinary(data []byte) (*binDeltaRequest, error) {
 	}
 	req.Warm = flags&binReqWarm != 0
 	return req, binDone(r)
+}
+
+// appendCacheResultBinary renders a peer-cache lookup answer: the cached
+// repartition result for one cache key, enough for the asking replica to
+// adopt it as if it had solved locally (parallelism invariance makes the
+// adoption byte-identical).
+func appendCacheResultBinary(buf []byte, res core.Result) []byte {
+	buf = appendBinHeader(buf, binMsgCacheResult)
+	buf = hypergraph.AppendInt32s(buf, res.Partition.Parts)
+	buf = binary.AppendVarint(buf, int64(res.Partition.K))
+	buf = binary.AppendVarint(buf, res.CommVolume)
+	buf = binary.AppendVarint(buf, res.MigrationVolume)
+	return binary.AppendVarint(buf, int64(res.Moved))
+}
+
+func decodeCacheResultBinary(data []byte) (core.Result, error) {
+	var res core.Result
+	r := hypergraph.NewBinReader(data)
+	if err := readBinHeader(r, binMsgCacheResult); err != nil {
+		return res, err
+	}
+	parts, err := hypergraph.DecodeInt32s(r, hypergraph.MaxWireVertices)
+	if err != nil {
+		return res, err
+	}
+	k, err := r.Varint()
+	if err != nil {
+		return res, err
+	}
+	res.Partition = partition.Partition{Parts: parts, K: int(k)}
+	if res.CommVolume, err = r.Varint(); err != nil {
+		return res, err
+	}
+	if res.MigrationVolume, err = r.Varint(); err != nil {
+		return res, err
+	}
+	moved, err := r.Varint()
+	if err != nil {
+		return res, err
+	}
+	res.Moved = int(moved)
+	return res, binDone(r)
+}
+
+// handoffState is one serialized session crossing replicas at drain time:
+// everything a successor needs to continue the epoch sequence
+// byte-identically — the effective config, the epoch counter, the last
+// result (its partition is the current distribution), the latest migration
+// summary, and the base hypergraph the next delta applies against (its
+// fingerprint is recomputed during decode, so it cannot drift in transit).
+type handoffState struct {
+	ID     string
+	Config WireConfig
+	Epoch  int64
+	Last   WireResult
+	Mig    *MigrationSummary
+	H      *hypergraph.Hypergraph
+	FP     string
+}
+
+// appendHandoffBinary renders POST /internal/handoff.
+func appendHandoffBinary(buf []byte, st handoffState) []byte {
+	buf = appendBinHeader(buf, binMsgHandoff)
+	buf = appendString(buf, st.ID)
+	buf = appendWireConfig(buf, st.Config)
+	buf = binary.AppendVarint(buf, st.Epoch)
+	buf = appendWireResult(buf, st.Last)
+	buf = appendMigrationSummary(buf, st.Mig)
+	return st.H.AppendBinary(buf)
+}
+
+func decodeHandoffBinary(data []byte) (handoffState, error) {
+	var st handoffState
+	r := hypergraph.NewBinReader(data)
+	if err := readBinHeader(r, binMsgHandoff); err != nil {
+		return st, err
+	}
+	var err error
+	if st.ID, err = readString(r, 256); err != nil {
+		return st, err
+	}
+	if st.Config, err = readWireConfig(r); err != nil {
+		return st, err
+	}
+	if st.Epoch, err = r.Varint(); err != nil {
+		return st, err
+	}
+	if st.Last, err = readWireResult(r); err != nil {
+		return st, err
+	}
+	if st.Mig, err = readMigrationSummary(r); err != nil {
+		return st, err
+	}
+	if st.H, st.FP, err = hypergraph.DecodeBinary(r); err != nil {
+		return st, err
+	}
+	return st, binDone(r)
 }
 
 // appendSessionResponseBinary renders a SessionResponse.
