@@ -218,7 +218,15 @@ func (c *Client) do(ctx context.Context, op, method, path string, body []byte, c
 			base = *owner
 		}
 		status, moved, err := c.attempt(ctx, base, method, path, body, contentType, out)
-		if moved != "" && owner != nil {
+		if moved != "" {
+			if owner == nil {
+				// No redirect override to update (a create has no session to
+				// chase): out was never decoded, so falling through to success
+				// would hand the caller a zero-valued response.
+				obsClientErrors.Inc()
+				return status, &APIError{Status: status, Code: "moved",
+					Msg: "unexpected owner redirect to " + moved}
+			}
 			// The replica handed the session off; chase the new owner
 			// without consuming a retry or backing off.
 			hops++

@@ -7,6 +7,12 @@ package server
 //   - Creates: the gateway pre-generates the session id, picks a replica by
 //     consistent hashing with bounded loads (so one hot ring segment cannot
 //     overload a replica), and forwards the create with X-Hyperbal-Session-ID.
+//     A create retargeted after a transport error never reuses a
+//     gateway-generated id (the dead replica may have processed it); a
+//     caller-assigned id is first probed across the ring candidates and
+//     answered 409 if the create already landed. Caller-assigned creates are
+//     therefore at-most-once: a copy held only by the unreachable replica is
+//     invisible to the probe and left to TTL eviction.
 //   - Session requests: routed to the placed replica; on a transport error
 //     the replica is marked down and the request is retried on the id's
 //     next ring candidate — which is exactly where drain-time handoff moved
@@ -302,7 +308,8 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// key the gateway hashes for routing. A client-supplied id (gateway
 	// behind gateway, or tests) is honored as-is.
 	id := r.Header.Get(SessionIDHeader)
-	if id == "" {
+	callerAssigned := id != ""
+	if !callerAssigned {
 		id = newSessionID()
 	}
 	r.Header.Set(SessionIDHeader, id)
@@ -322,6 +329,34 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			g.markDown(idx)
 			obsGwRetargets.Inc()
+			// The unreachable replica may have processed the create with only
+			// the response lost; blindly re-sending the same id elsewhere
+			// would fork the id across two replicas, and a later gateway
+			// restart's ring probe could resurrect the stale epoch-0 copy.
+			if callerAssigned {
+				// The caller knows this id, so it cannot be swapped. If a
+				// surviving candidate already holds the session, the create
+				// landed: answer 409 exactly as the replica would on a
+				// duplicate, and let the caller recover through GET. If no
+				// survivor holds it, retrying elsewhere is safe against every
+				// replica we can see — a copy on the unreachable replica
+				// itself is the residual at-most-once window, and it can only
+				// idle out by TTL (it is never routed to: the placement below
+				// pins the retry's replica).
+				if oi := g.probeSession(r.Context(), id); oi >= 0 {
+					g.setPlacement(id, oi)
+					g.cfg.Logf("gateway: create for %s already landed on %s; answering duplicate", id, g.cfg.Replicas[oi])
+					writeError(w, http.StatusConflict, "duplicate_session", "session id already exists")
+					return
+				}
+			} else {
+				// The caller never saw the gateway-generated id: retry under a
+				// fresh one, so a maybe-processed create on the unreachable
+				// replica cannot diverge with the retry. The orphan, if any,
+				// is unroutable and idles out by TTL.
+				id = newSessionID()
+				r.Header.Set(SessionIDHeader, id)
+			}
 			g.mu.Lock()
 			idx = g.ring.pickBounded(id,
 				func(i int) int { return g.loads[i] },
@@ -341,6 +376,38 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusBadGateway, "routing_loop", "create exceeded retarget budget")
+}
+
+// probeSession asks the id's live ring candidates whether one already
+// holds the session, returning its replica index or -1. Used before
+// retargeting a caller-assigned create whose replica died mid-request: a
+// 200 from a candidate proves the create landed and the retry must not run.
+func (g *Gateway) probeSession(ctx context.Context, id string) int {
+	for _, idx := range g.ring.candidates(id) {
+		g.mu.Lock()
+		dead := g.down[idx]
+		g.mu.Unlock()
+		if dead {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, g.cfg.Replicas[idx]+"/v1/sessions/"+id, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := g.cfg.HTTPClient.Do(req)
+		cancel()
+		if err != nil {
+			continue
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return idx
+		}
+	}
+	return -1
 }
 
 // proxySession routes a request for an existing session: placed replica

@@ -12,8 +12,12 @@ package server
 //     existing-key early return.
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -71,6 +75,48 @@ func TestSweepSkipsBusySessions(t *testing.T) {
 	st.sweep(time.Now())
 	if st.get("s-idle") != nil {
 		t.Fatal("idle session survived the sweep after release")
+	}
+}
+
+// TestAddIfAbsentAdmitsExactlyOne: concurrent creates racing the same
+// pre-assigned session id must admit exactly one session. Pre-fix the
+// handler used a get-then-add pair, so two creates could both pass the
+// duplicate check and the second add silently overwrote the first session.
+func TestAddIfAbsentAdmitsExactlyOne(t *testing.T) {
+	st := newStore(0)
+	defer st.close()
+
+	const contenders = 16
+	entries := make([]*session, contenders)
+	admitted := make([]bool, contenders)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < contenders; i++ {
+		entries[i] = &session{id: "s-contended"}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			admitted[i] = st.addIfAbsent(entries[i])
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	winners := 0
+	winner := -1
+	for i, ok := range admitted {
+		if ok {
+			winners++
+			winner = i
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d of %d concurrent addIfAbsent calls admitted, want exactly 1", winners, contenders)
+	}
+	if got := st.get("s-contended"); got != entries[winner] {
+		t.Fatal("the stored session is not the admitted winner's entry")
 	}
 }
 
@@ -292,6 +338,44 @@ func TestHandoffCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPostHandoffDeliversLargeFrames: a handoff frame embeds the full base
+// hypergraph, so it routinely exceeds the 32KB chunks net/http copies
+// request bodies in. The whole frame must arrive. Pre-fix the request body
+// reader returned io.EOF alongside the first chunk, so any frame past one
+// copy buffer was silently truncated, the receiver's decode failed, every
+// ring candidate rejected the handoff, and the session died with the
+// draining replica.
+func TestPostHandoffDeliversLargeFrames(t *testing.T) {
+	s := New(Config{SessionTTL: -1})
+	defer s.Close()
+
+	frame := make([]byte, 200<<10)
+	for i := range frame {
+		frame[i] = byte(i * 31)
+	}
+
+	var got []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("reading handoff body: %v", err)
+		}
+		got = body
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	if !s.postHandoff(context.Background(), ts.URL, frame) {
+		t.Fatal("postHandoff reported failure against an accepting peer")
+	}
+	if len(got) != len(frame) {
+		t.Fatalf("peer received %d of %d frame bytes — handoff body truncated", len(got), len(frame))
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("peer received corrupted frame bytes")
+	}
+}
+
 // TestCacheResultCodecRoundTrip covers the peer-cache wire frame.
 func TestCacheResultCodecRoundTrip(t *testing.T) {
 	want := core.Result{
@@ -299,6 +383,8 @@ func TestCacheResultCodecRoundTrip(t *testing.T) {
 		CommVolume:      11,
 		MigrationVolume: 4,
 		Moved:           3,
+		RepartTime:      1700 * time.Microsecond,
+		Warm:            true,
 	}
 	got, err := decodeCacheResultBinary(appendCacheResultBinary(nil, want))
 	if err != nil {
@@ -310,6 +396,13 @@ func TestCacheResultCodecRoundTrip(t *testing.T) {
 		got.MigrationVolume != want.MigrationVolume ||
 		got.Moved != want.Moved {
 		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	// Warm-start provenance must survive adoption: a peer-adopted entry is
+	// republished into the local cache, so dropping these fields misreports
+	// warm=false / repart_ms=0 for every later hit on the adopted entry.
+	if got.RepartTime != want.RepartTime || got.Warm != want.Warm {
+		t.Fatalf("provenance lost in round trip: warm=%v repart=%s, want warm=%v repart=%s",
+			got.Warm, got.RepartTime, want.Warm, want.RepartTime)
 	}
 }
 

@@ -25,6 +25,7 @@ package server
 // gone, so routing converges without coordination.
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"errors"
@@ -292,7 +293,7 @@ func (s *Server) postHandoff(ctx context.Context, url string, frame []byte) bool
 	timeout := s.cfg.HandoffTimeout
 	hctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(hctx, http.MethodPost, url+"/internal/handoff", readerOf(frame))
+	req, err := http.NewRequestWithContext(hctx, http.MethodPost, url+"/internal/handoff", bytes.NewReader(frame))
 	if err != nil {
 		return false
 	}
@@ -346,18 +347,4 @@ func (s *Server) sessionGone(w http.ResponseWriter, id string) {
 		return
 	}
 	writeError(w, http.StatusNotFound, "not_found", "unknown session")
-}
-
-// readerOf wraps a byte slice for http.NewRequest.
-func readerOf(b []byte) io.Reader { return &sliceReader{b: b} }
-
-type sliceReader struct{ b []byte }
-
-func (r *sliceReader) Read(p []byte) (int, error) {
-	if len(r.b) == 0 {
-		return 0, io.EOF
-	}
-	n := copy(p, r.b)
-	r.b = r.b[n:]
-	return n, io.EOF
 }

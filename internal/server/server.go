@@ -467,7 +467,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 	entry := &session{id: id, cfg: eff, sess: sess, baseH: h, baseFP: fp}
 	s.clearHandoff(id)
-	s.store.add(entry)
+	// The pre-solve duplicate check is only a cheap fast path; the insert
+	// itself must be atomic or two concurrent creates with the same
+	// pre-assigned id both pass it and the loser silently overwrites.
+	if !s.store.addIfAbsent(entry) {
+		writeError(w, http.StatusConflict, "duplicate_session", "session id already exists")
+		return
+	}
 	obsSessionsCreated.Inc()
 	s.cfg.Logf("server: session %s created (k=%d method=%s |V|=%d cached=%v)",
 		entry.id, eff.K, eff.Method, h.NumVertices(), cached)

@@ -106,6 +106,23 @@ func (st *store) add(s *session) {
 	st.mu.Unlock()
 }
 
+// addIfAbsent inserts s unless a session with the same id already exists;
+// check and insert happen under one write lock, so two concurrent creates
+// pre-assigned the same id cannot both pass a lookup and silently
+// overwrite each other.
+func (st *store) addIfAbsent(s *session) bool {
+	s.touch()
+	st.mu.Lock()
+	if _, ok := st.m[s.id]; ok {
+		st.mu.Unlock()
+		return false
+	}
+	st.m[s.id] = s
+	obsSessionsActive.Set(int64(len(st.m)))
+	st.mu.Unlock()
+	return true
+}
+
 func (st *store) get(id string) *session {
 	st.mu.RLock()
 	s := st.m[id]

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"hyperbal/internal/core"
 	"hyperbal/internal/hypergraph"
@@ -376,7 +377,16 @@ func appendCacheResultBinary(buf []byte, res core.Result) []byte {
 	buf = binary.AppendVarint(buf, int64(res.Partition.K))
 	buf = binary.AppendVarint(buf, res.CommVolume)
 	buf = binary.AppendVarint(buf, res.MigrationVolume)
-	return binary.AppendVarint(buf, int64(res.Moved))
+	buf = binary.AppendVarint(buf, int64(res.Moved))
+	// Provenance travels with the entry: the adopter republishes it into
+	// its own cache, and later responses report the owner's warm-start flag
+	// and solve time, not a zeroed one.
+	buf = binary.AppendVarint(buf, int64(res.RepartTime))
+	var flags byte
+	if res.Warm {
+		flags |= binResWarm
+	}
+	return append(buf, flags)
 }
 
 func decodeCacheResultBinary(data []byte) (core.Result, error) {
@@ -405,6 +415,16 @@ func decodeCacheResultBinary(data []byte) (core.Result, error) {
 		return res, err
 	}
 	res.Moved = int(moved)
+	ns, err := r.Varint()
+	if err != nil {
+		return res, err
+	}
+	res.RepartTime = time.Duration(ns)
+	flags, err := r.Byte()
+	if err != nil {
+		return res, err
+	}
+	res.Warm = flags&binResWarm != 0
 	return res, binDone(r)
 }
 
