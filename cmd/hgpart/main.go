@@ -7,20 +7,27 @@
 //	hgpart -k 8 [-eps 0.05] [-seed 1] [-ranks 4] [-direct] [-mtx] [-o out.part] input.hgr
 //
 // With -ranks > 1 the parallel partitioner runs on that many in-process
-// ranks. The optional output file receives one part id per line.
+// ranks. With -net-workers the same partitioner runs over the network
+// transport, one rank per listed balancerd -compute-worker process, and
+// produces the identical partition. The optional output file receives
+// one part id per line.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"hyperbal/internal/hgp"
 	"hyperbal/internal/hypergraph"
 	"hyperbal/internal/mpi"
+	"hyperbal/internal/mpinet"
+	"hyperbal/internal/mpinet/jobs"
 	"hyperbal/internal/mtx"
 	"hyperbal/internal/obs"
 	"hyperbal/internal/partition"
@@ -42,6 +49,12 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text, ?format=json) and /debug/pprof on this address")
 		metricsJSON = flag.String("metrics-json", "", `write a JSON metrics snapshot to this file on exit ("-" = stdout)`)
+
+		netWorkers    = flag.String("net-workers", "", "comma-separated compute-worker addresses; run the parallel partitioner over the network transport (one rank per worker)")
+		netRanks      = flag.Int("net-ranks", 0, "ranks for -net-workers (0 = one per listed worker; must not exceed the worker count)")
+		netJitter     = flag.Duration("net-jitter", 0, "artificial per-message delay bound on the network transport (scheduling-independence check)")
+		netJitterSeed = flag.Int64("net-jitter-seed", 1, "seed for -net-jitter delays")
+		netTimeout    = flag.Duration("net-timeout", 0, "network transport receive timeout (0 = default)")
 	)
 	flag.Parse()
 	if *metricsAddr != "" {
@@ -93,7 +106,24 @@ func main() {
 	opts := hgp.Options{K: *k, Imbalance: *eps, Seed: *seed, DirectKway: *direct, Parallelism: *parallelism}
 	start := time.Now()
 	var p partition.Partition
-	if *ranks > 1 {
+	if *netWorkers != "" {
+		addrs := strings.Split(*netWorkers, ",")
+		n := *netRanks
+		if n == 0 {
+			n = len(addrs)
+		}
+		if n > len(addrs) || n < 1 {
+			check(fmt.Errorf("-net-ranks %d needs between 1 and %d workers", n, len(addrs)))
+		}
+		payload, err := jobs.EncodePHG(h, phg.Options{Serial: opts})
+		check(err)
+		res, err := mpinet.RunWorld(context.Background(), jobs.PHGPartition, payload, addrs[:n],
+			mpinet.Options{RecvTimeout: *netTimeout, Jitter: *netJitter, JitterSeed: *netJitterSeed})
+		check(err)
+		parts, err := jobs.DecodeParts(res.Root())
+		check(err)
+		p = partition.Partition{Parts: parts, K: *k}
+	} else if *ranks > 1 {
 		err = mpi.Run(*ranks, func(c *mpi.Comm) error {
 			pp, err := phg.Partition(c, h, phg.Options{Serial: opts})
 			if c.Rank() == 0 {

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/mpinet"
+)
+
+// TestParallelRuntimeNetMatchesInProcess: the Figure 7-8 pipeline run over
+// network workers must report the same model cuts and the same total
+// traffic (messages, bytes, collectives — summed across ranks) as the
+// in-process substrate at the same rank count.
+func TestParallelRuntimeNetMatchesInProcess(t *testing.T) {
+	const ranks = 3
+	addrs := make([]string, ranks)
+	for i := 0; i < ranks; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := mpinet.NewWorker(ln)
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+
+	ref, err := ParallelRuntimeWith(mpi.Options{Watchdog: time.Minute}, "xyce680s", 260, []int{ranks}, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParallelRuntimeNet(context.Background(), addrs, "xyce680s", 260, 100, 5,
+		mpinet.Options{RecvTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("%d cells over mpinet, %d in-process", len(got), len(ref))
+	}
+	for i := range ref {
+		r, g := ref[i], got[i]
+		if g.Ranks != r.Ranks || g.Hypergraph != r.Hypergraph {
+			t.Fatalf("cell %d shape: %+v vs %+v", i, g, r)
+		}
+		if g.Cut != r.Cut {
+			t.Errorf("cell %d (hypergraph=%v): cut %d over mpinet, %d in-process", i, r.Hypergraph, g.Cut, r.Cut)
+		}
+		if g.Messages != r.Messages || g.Bytes != r.Bytes || g.Collectives != r.Collectives {
+			t.Errorf("cell %d traffic: mpinet %d/%d/%d, in-process %d/%d/%d",
+				i, g.Messages, g.Bytes, g.Collectives, r.Messages, r.Bytes, r.Collectives)
+		}
+	}
+}

@@ -43,12 +43,20 @@ type Options struct {
 	// operation. It is called concurrently from rank goroutines and must
 	// be safe for concurrent use.
 	OnEvent func(Event)
+	// ChanCap is the per-pair send buffer capacity in messages; 0 means
+	// DefaultChanCap. A send beyond this capacity blocks the sender (and
+	// counts in Stats.BlockedSends). Network transports mirror it as their
+	// flow-control window.
+	ChanCap int
 }
 
-// normalized arms the default watchdog for crash plans.
+// normalized arms the default watchdog for crash plans and fills defaults.
 func (o Options) normalized() Options {
 	if o.Watchdog <= 0 && o.Fault != nil && len(o.Fault.Crash) > 0 {
 		o.Watchdog = DefaultWatchdog
+	}
+	if o.ChanCap <= 0 {
+		o.ChanCap = DefaultChanCap
 	}
 	return o
 }
@@ -97,13 +105,18 @@ type Event struct {
 	Stall time.Duration
 }
 
-// CrashError reports a rank killed by an injected crash fault.
+// CrashError reports a dead rank: killed by an injected crash fault
+// (in-process, Step > 0) or lost to a dropped connection / dead process
+// (network transport, Step == 0).
 type CrashError struct {
 	Rank int // world rank that crashed
-	Step int // 1-based substrate operation index at which it died
+	Step int // 1-based substrate operation index at which it died; 0 when unknown (connection lost)
 }
 
 func (e *CrashError) Error() string {
+	if e.Step == 0 {
+		return fmt.Sprintf("mpi: rank %d crashed (connection lost)", e.Rank)
+	}
 	return fmt.Sprintf("mpi: rank %d crashed by fault injection at operation %d", e.Rank, e.Step)
 }
 
@@ -213,13 +226,19 @@ func newWorld(n int, opt Options) *world {
 func (w *world) reorder() bool { return w.opt.Fault != nil && w.opt.Fault.Reorder }
 
 // enterBlocked flags rank as blocked inside op; the returned func clears
-// the flag, bumps the progress counter and reports the stall.
+// the flag, bumps the progress counter and reports the stall. Stall time
+// feeds Stats.MaxStall unconditionally — only the watchdog's blocked-state
+// bookkeeping is skipped for untracked worlds.
 func (w *world) enterBlocked(rank int, op string, peer, tag int) func() time.Duration {
+	start := time.Now()
 	if !w.track {
-		return zeroStall
+		return func() time.Duration {
+			stall := time.Since(start)
+			w.noteStall(stall)
+			return stall
+		}
 	}
 	s := &w.states[rank]
-	start := time.Now()
 	s.mu.Lock()
 	s.blocked, s.op, s.peer, s.tag, s.since = true, op, peer, tag, start
 	s.mu.Unlock()
@@ -233,8 +252,6 @@ func (w *world) enterBlocked(rank int, op string, peer, tag int) func() time.Dur
 		return stall
 	}
 }
-
-func zeroStall() time.Duration { return 0 }
 
 func (w *world) noteStall(d time.Duration) {
 	ns := int64(d)

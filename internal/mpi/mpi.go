@@ -46,9 +46,14 @@ type Stats struct {
 	// implemented in terms of other collectives count once.
 	Collectives atomic.Int64
 	// MaxStall is the longest time, in nanoseconds, any rank spent blocked
-	// inside a single substrate operation. Recorded only when the world
-	// runs with a watchdog or an OnEvent hook (RunWith); otherwise 0.
+	// inside a single substrate operation. Recorded unconditionally, so
+	// plain Run/RunStats callers get honest stall numbers too.
 	MaxStall atomic.Int64
+	// BlockedSends counts sends that could not complete immediately —
+	// in-process: the destination channel was full (capacity Options.ChanCap);
+	// over a Transport: the flow-control window was exhausted. A nonzero
+	// count means receivers are falling behind the senders.
+	BlockedSends atomic.Int64
 }
 
 // MaxStallDuration returns the max-stall gauge as a time.Duration.
@@ -67,6 +72,14 @@ type Comm struct {
 	chans   [][]chan message // chans[src][dst]
 	w       *world
 	worldOf []int // comm rank -> world rank (nil means identity)
+
+	// Transport-backed worlds (RunTransportRank) route point-to-point
+	// traffic through tr instead of chans; commID names this communicator
+	// on the wire (0 = world) and splitSeq numbers Split calls so derived
+	// communicator ids agree across ranks without a round trip.
+	tr       Transport
+	commID   uint64
+	splitSeq int
 
 	// Reorder-injection state (nil unless FaultPlan.Reorder):
 	pending [][]message // received-but-unmatched messages, per source
@@ -90,7 +103,11 @@ func (c *Comm) worldRank(r int) int {
 	return c.worldOf[r]
 }
 
-const chanCap = 1024
+// DefaultChanCap is the default per-pair send buffer capacity (messages),
+// used when Options.ChanCap is zero. A network transport should mirror the
+// effective value as its flow-control window so backpressure behaves the
+// same on both substrates.
+const DefaultChanCap = 1024
 
 // newComm wires a communicator of the given world. Each Comm instance
 // belongs to exactly one rank goroutine, so its reorder buffers need no
@@ -129,7 +146,7 @@ func RunWith(n int, opt Options, fn func(c *Comm) error) (*Stats, error) {
 	}
 	opt = opt.normalized()
 	w := newWorld(n, opt)
-	chans := newChanMatrix(n)
+	chans := newChanMatrix(n, opt.ChanCap)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
@@ -179,12 +196,15 @@ func RunWith(n int, opt Options, fn func(c *Comm) error) (*Stats, error) {
 	return w.stats, first
 }
 
-func newChanMatrix(n int) [][]chan message {
+func newChanMatrix(n, cap int) [][]chan message {
+	if cap <= 0 {
+		cap = DefaultChanCap
+	}
 	chans := make([][]chan message, n)
 	for i := range chans {
 		chans[i] = make([]chan message, n)
 		for j := range chans[i] {
-			chans[i][j] = make(chan message, chanCap)
+			chans[i][j] = make(chan message, cap)
 		}
 	}
 	return chans
@@ -201,7 +221,20 @@ func (c *Comm) Send(dst, tag int, data any) {
 	nb := payloadBytes(data)
 	c.w.stats.Messages.Add(1)
 	c.w.stats.Bytes.Add(nb)
-	stall := c.deliver(dst, message{tag: tag, data: data})
+	var stall time.Duration
+	if c.tr != nil {
+		var err error
+		stall, err = c.tr.Send(c.commID, c.worldRank(dst), tag, data)
+		if err != nil {
+			panic(transportFailure{err: fmt.Errorf("mpi: send to rank %d: %w", c.worldRank(dst), err)})
+		}
+		if stall > 0 {
+			c.w.stats.BlockedSends.Add(1)
+			c.w.noteStall(stall)
+		}
+	} else {
+		stall = c.deliver(dst, message{tag: tag, data: data})
+	}
 	if hook := c.w.opt.OnEvent; hook != nil {
 		hook(Event{Rank: c.worldRank(c.rank), Op: "send", Peer: c.worldRank(dst), Tag: tag, Bytes: nb, Stall: stall})
 	}
@@ -238,6 +271,7 @@ func (c *Comm) push(dst int, m message) time.Duration {
 		return 0
 	default:
 	}
+	c.w.stats.BlockedSends.Add(1)
 	end := c.w.enterBlocked(c.worldRank(c.rank), "send", c.worldRank(dst), m.tag)
 	select {
 	case ch <- m:
@@ -269,6 +303,19 @@ func (c *Comm) Recv(src, tag int) any {
 		panic(fmt.Sprintf("mpi: recv from rank %d, world size %d", src, c.size))
 	}
 	c.faultStep()
+	if c.tr != nil {
+		data, stall, err := c.tr.Recv(c.commID, c.worldRank(src), tag)
+		if err != nil {
+			panic(transportFailure{err: fmt.Errorf("mpi: recv from rank %d: %w", c.worldRank(src), err)})
+		}
+		if stall > 0 {
+			c.w.noteStall(stall)
+		}
+		if hook := c.w.opt.OnEvent; hook != nil {
+			hook(Event{Rank: c.worldRank(c.rank), Op: "recv", Peer: c.worldRank(src), Tag: tag, Bytes: payloadBytes(data), Stall: stall})
+		}
+		return data
+	}
 	if c.held != nil {
 		c.w.flushRank(c.worldRank(c.rank))
 	}
@@ -442,45 +489,57 @@ func fixedWireSize(t reflect.Type) (int64, bool) {
 // MPI_UNDEFINED).
 func (c *Comm) Split(color, key int) *Comm {
 	defer c.collective("split")()
-	type entry struct{ color, key, rank int }
-	all := AllgatherAny(c, entry{color, key, c.rank}).([]entry)
+	seq := c.splitSeq
+	c.splitSeq++ // counted for every rank, participating or not, so ids agree
+	all := AllgatherAny(c, splitEntry{color, key, c.rank}).([]splitEntry)
 	if color < 0 {
 		return nil
 	}
-	var members []entry
+	var members []splitEntry
 	for _, e := range all {
-		if e.color == color {
+		if e.Color == color {
 			members = append(members, e)
 		}
 	}
 	// order by (key, rank)
 	for i := 1; i < len(members); i++ {
-		for j := i; j > 0 && (members[j].key < members[j-1].key ||
-			(members[j].key == members[j-1].key && members[j].rank < members[j-1].rank)); j-- {
+		for j := i; j > 0 && (members[j].Key < members[j-1].Key ||
+			(members[j].Key == members[j-1].Key && members[j].Rank < members[j-1].Rank)); j-- {
 			members[j], members[j-1] = members[j-1], members[j]
 		}
 	}
 	newRank := -1
 	worldOf := make([]int, len(members))
 	for i, e := range members {
-		if e.rank == c.rank {
+		if e.Rank == c.rank {
 			newRank = i
 		}
-		worldOf[i] = c.worldRank(e.rank)
+		worldOf[i] = c.worldRank(e.Rank)
+	}
+	sub := newComm(c.w, nil, newRank, len(members), worldOf)
+	if c.tr != nil {
+		// Over a transport the sub-communicator needs no new wiring, just a
+		// fresh stream id; every member derives the same one locally.
+		sub.tr = c.tr
+		sub.commID = deriveCommID(c.commID, seq, color)
+		return sub
 	}
 	// The split communicator gets fresh channels. Build them cooperatively:
 	// the lowest old rank of each color allocates and distributes.
-	sub := newComm(c.w, nil, newRank, len(members), worldOf)
 	if newRank == 0 {
-		sub.chans = newChanMatrix(len(members))
+		sub.chans = newChanMatrix(len(members), c.w.opt.ChanCap)
 		for i := 1; i < len(members); i++ {
-			c.Send(members[i].rank, tagSplit, sub.chans)
+			c.Send(members[i].Rank, tagSplit, sub.chans)
 		}
 	} else {
-		sub.chans = c.Recv(members[0].rank, tagSplit).([][]chan message)
+		sub.chans = c.Recv(members[0].Rank, tagSplit).([][]chan message)
 	}
 	return sub
 }
+
+// splitEntry is Split's allgather payload (package-level with exported
+// fields so it can cross a network transport).
+type splitEntry struct{ Color, Key, Rank int }
 
 // Internal collective tags (user tags are free-form; collisions avoided by
 // the strict matched-order discipline).

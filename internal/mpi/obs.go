@@ -13,6 +13,7 @@ var (
 	obsBytes       = obs.Default().Counter("mpi_bytes_total")
 	obsCollectives = obs.Default().Counter("mpi_collectives_total")
 	obsMaxStall    = obs.Default().Gauge("mpi_max_stall_ns")
+	obsBlockedSend = obs.Default().Counter("mpi_blocked_sends_total")
 
 	obsDeadlocks = obs.Default().Counter("mpi_deadlocks_total")
 	obsCrashes   = obs.Default().Counter("mpi_crashes_total")
@@ -27,6 +28,7 @@ func bridgeStats(s *Stats, deadlocked bool, crashes int64) {
 	obsBytes.Add(s.Bytes.Load())
 	obsCollectives.Add(s.Collectives.Load())
 	obsMaxStall.SetMax(s.MaxStall.Load())
+	obsBlockedSend.Add(s.BlockedSends.Load())
 	if deadlocked {
 		obsDeadlocks.Inc()
 	}

@@ -1,0 +1,104 @@
+package mpinet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFrameStreamRoundTrip: every frame kind must survive the streaming
+// reader (readFrame) byte-for-byte, including several frames back to back
+// on one stream, with io.EOF verbatim at a clean boundary.
+func TestFrameStreamRoundTrip(t *testing.T) {
+	frames := seedFrames()
+	order := []string{"hello", "ack", "launch", "msg", "result", "error"}
+	var stream []byte
+	for _, name := range order {
+		stream = append(stream, frames[name]...)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	wantKinds := []byte{frameHello, frameHelloAck, frameLaunch, frameMsg, frameResult, frameError}
+	for i, want := range wantKinds {
+		kind, body, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d (%s): %v", i, order[i], err)
+		}
+		if kind != want {
+			t.Fatalf("frame %d: kind %d, want %d", i, kind, want)
+		}
+		// The slice decoder must agree with the streaming decoder.
+		k2, b2, rest, err := decodeFrame(frames[order[i]], DefaultMaxFrame)
+		if err != nil || k2 != kind || !bytes.Equal(b2, body) || len(rest) != 0 {
+			t.Fatalf("frame %d: decodeFrame disagrees with readFrame (%v)", i, err)
+		}
+	}
+	if _, _, err := readFrame(br, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("clean stream end: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameHostileInput: malformed frames must fail with structured
+// errors — never a panic, never io.EOF masquerading as success, and never
+// an allocation sized by an attacker-controlled length.
+func TestFrameHostileInput(t *testing.T) {
+	valid := seedFrames()["msg"]
+	cases := []struct {
+		name  string
+		data  []byte
+		magic bool // expect errBadMagic instead of errMalformed
+	}{
+		{"empty", nil, true},
+		{"bad magic", []byte("XXX\x01\x01\x00"), true},
+		{"truncated magic", []byte("HB"), true},
+		{"bad version", []byte("HBN\x02\x01\x00"), false},
+		{"kind zero", []byte("HBN\x01\x00\x00"), false},
+		{"kind out of range", []byte("HBN\x01\x63\x00"), false},
+		{"missing length", []byte("HBN\x01\x01"), false},
+		{"length bomb", []byte{'H', 'B', 'N', 1, 4, 0xff, 0xff, 0xff, 0xff, 0x7f}, false},
+		{"truncated body", valid[:len(valid)-2], false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := decodeFrame(tc.data, DefaultMaxFrame)
+			if err == nil {
+				t.Fatal("decodeFrame accepted hostile input")
+			}
+			want := errMalformed
+			if tc.magic {
+				want = errBadMagic
+			}
+			if !errors.Is(err, want) {
+				t.Fatalf("err = %v, want %v", err, want)
+			}
+			// The streaming twin must reject it too (io.EOF only at offset 0
+			// of an empty stream).
+			_, _, serr := readFrame(bufio.NewReader(bytes.NewReader(tc.data)), DefaultMaxFrame)
+			if serr == nil {
+				t.Fatal("readFrame accepted hostile input")
+			}
+		})
+	}
+}
+
+// TestFrameBodyBounds: each body parser enforces its documented limits.
+func TestFrameBodyBounds(t *testing.T) {
+	if _, err := parseHello(helloBody{WorldID: strings.Repeat("x", maxWorldIDLen+1)}.encode()); err == nil {
+		t.Error("hello accepted an oversized world id")
+	}
+	l := launchBody{WorldID: "w", Rank: 0, Size: 2, Job: "j",
+		Addrs:      []string{"a", "b", "c"}, // count != Size
+		SendWindow: 1, RecvTimeout: time.Second}
+	if _, err := parseLaunch(l.encode()); err == nil {
+		t.Error("launch accepted addr count != size")
+	}
+	if _, err := parseError(errorBody{Kind: errKindStall + 1, Msg: "m"}.encode()); err == nil {
+		t.Error("error accepted an unknown kind")
+	}
+	if _, err := parseMsg(msgBody{Src: maxAddrCount + 1, TypeName: "t"}.encode()); err == nil {
+		t.Error("msg accepted an out-of-range source rank")
+	}
+}

@@ -1,0 +1,169 @@
+// Package jobs registers the partitioner jobs runnable on mpinet compute
+// workers: the parallel hypergraph partitioner (phg) and the parallel
+// graph partitioner / adaptive repartitioner (pgp). Importing this
+// package (balancerd's -compute-worker mode and hgpart's -net-workers
+// mode both do, blank or otherwise) makes a process able to serve as any
+// rank of those worlds.
+//
+// Job payloads are self-contained: a JSON options header (length-
+// prefixed) followed by the problem in its binary wire form — the
+// hypergraph's HBW frame or the graph CSR frame — so the coordinator
+// ships the exact problem every rank needs and nothing else. Results are
+// the partition vector in varint form (rank 0 only; other ranks return
+// nothing, since every rank computes the identical partition).
+package jobs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"hyperbal/internal/graph"
+	"hyperbal/internal/hypergraph"
+	"hyperbal/internal/mpi"
+	"hyperbal/internal/mpinet"
+	"hyperbal/internal/partition"
+	"hyperbal/internal/pgp"
+	"hyperbal/internal/phg"
+)
+
+// Job names, as launched by mpinet.RunWorld.
+const (
+	PHGPartition = "phg.partition"
+	PGPPartition = "pgp.partition"
+)
+
+type phgSpec struct {
+	Opt phg.Options
+}
+
+type pgpSpec struct {
+	Opt      pgp.Options
+	Adaptive bool
+	Itr      int64
+}
+
+// EncodePHG builds the payload for a PHGPartition world: opt as JSON,
+// then h's binary frame.
+func EncodePHG(h *hypergraph.Hypergraph, opt phg.Options) ([]byte, error) {
+	hdr, err := json.Marshal(phgSpec{Opt: opt})
+	if err != nil {
+		return nil, fmt.Errorf("jobs: marshal phg options: %w", err)
+	}
+	buf := binary.AppendUvarint(nil, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+	return h.AppendBinary(buf), nil
+}
+
+// EncodePGP builds the payload for a PGPPartition world. old (required
+// iff adaptive) is the previous partition AdaptiveRepart improves on; itr
+// is the paper's migration-vs-cut trade-off factor.
+func EncodePGP(g *graph.Graph, old []int32, itr int64, opt pgp.Options, adaptive bool) ([]byte, error) {
+	if adaptive && len(old) != g.NumVertices() {
+		return nil, fmt.Errorf("jobs: old partition covers %d vertices, graph has %d", len(old), g.NumVertices())
+	}
+	hdr, err := json.Marshal(pgpSpec{Opt: opt, Adaptive: adaptive, Itr: itr})
+	if err != nil {
+		return nil, fmt.Errorf("jobs: marshal pgp options: %w", err)
+	}
+	buf := binary.AppendUvarint(nil, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = g.AppendBinary(buf)
+	if adaptive {
+		buf = append(buf, 1)
+		buf = hypergraph.AppendInt32s(buf, old)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// DecodeParts decodes a world's result payload (rank 0's partition
+// vector).
+func DecodeParts(payload []byte) ([]int32, error) {
+	r := hypergraph.NewBinReader(payload)
+	parts, err := hypergraph.DecodeInt32s(r, hypergraph.MaxWireVertices)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: result partition: %w", err)
+	}
+	if r.Rem() != 0 {
+		return nil, fmt.Errorf("jobs: %d trailing bytes after result partition", r.Rem())
+	}
+	return parts, nil
+}
+
+func readHeader(payload []byte, spec any) (*hypergraph.BinReader, error) {
+	r := hypergraph.NewBinReader(payload)
+	n, err := r.Count(1 << 20)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: options header: %w", err)
+	}
+	hdr, err := r.Bytes(n)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: options header: %w", err)
+	}
+	if err := json.Unmarshal(hdr, spec); err != nil {
+		return nil, fmt.Errorf("jobs: options header: %w", err)
+	}
+	return r, nil
+}
+
+func init() {
+	mpinet.RegisterJob(PHGPartition, func(c *mpi.Comm, payload []byte) ([]byte, error) {
+		var spec phgSpec
+		r, err := readHeader(payload, &spec)
+		if err != nil {
+			return nil, err
+		}
+		h, _, err := hypergraph.DecodeBinary(r)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: hypergraph frame: %w", err)
+		}
+		p, err := phg.Partition(c, h, spec.Opt)
+		if err != nil {
+			return nil, err
+		}
+		if c.Rank() != 0 {
+			return nil, nil
+		}
+		return hypergraph.AppendInt32s(nil, p.Parts), nil
+	})
+	mpinet.RegisterJob(PGPPartition, func(c *mpi.Comm, payload []byte) ([]byte, error) {
+		var spec pgpSpec
+		r, err := readHeader(payload, &spec)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.DecodeBinary(r)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: graph frame: %w", err)
+		}
+		hasOld, err := r.Byte()
+		if err != nil || hasOld > 1 {
+			return nil, fmt.Errorf("jobs: old-partition flag: %v", err)
+		}
+		var p partition.Partition
+		if spec.Adaptive {
+			if hasOld != 1 {
+				return nil, fmt.Errorf("jobs: adaptive pgp payload missing old partition")
+			}
+			old, err := hypergraph.DecodeInt32s(r, graph.MaxWireVertices)
+			if err != nil {
+				return nil, fmt.Errorf("jobs: old partition: %w", err)
+			}
+			p, err = pgp.AdaptiveRepart(c, g, partition.Partition{Parts: old, K: spec.Opt.Serial.K}, spec.Itr, spec.Opt)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			p, err = pgp.Partition(c, g, spec.Opt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if c.Rank() != 0 {
+			return nil, nil
+		}
+		return hypergraph.AppendInt32s(nil, p.Parts), nil
+	})
+}

@@ -1,0 +1,15 @@
+package mpinet
+
+import "hyperbal/internal/obs"
+
+var (
+	obsFrames  = obs.Default().CounterVec("mpinet_frames_total", "dir")
+	obsBytes   = obs.Default().CounterVec("mpinet_bytes_total", "dir")
+	obsRedials = obs.Default().Counter("mpinet_redials_total")
+	obsRTT     = obs.Default().Histogram("mpinet_rtt_ns", obs.DurationBounds)
+
+	obsFramesTx = obsFrames.With("tx")
+	obsFramesRx = obsFrames.With("rx")
+	obsBytesTx  = obsBytes.With("tx")
+	obsBytesRx  = obsBytes.With("rx")
+)

@@ -1,0 +1,59 @@
+package mpinet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+
+	"hyperbal/internal/mpi"
+)
+
+// Substrate payloads cross the wire as (type name, gob bytes). The type
+// name comes from the mpi payload registry (mpi.RegisterPayload), which
+// every payload-carrying package populates in its init — both ends run
+// the same binary, so names resolve identically. gob rather than a
+// hand-rolled codec because payloads are a small closed set of concrete
+// types (scalars, slices, small structs with exported fields) and the
+// per-message stream header is noise against the partitioners' payload
+// sizes; the frame layer above already enforces the hostile-input bounds.
+
+// encodePayload serializes v. A nil payload encodes as ("", nil).
+func encodePayload(v any) (typeName string, data []byte, err error) {
+	if v == nil {
+		return "", nil, nil
+	}
+	typeName = mpi.PayloadName(v)
+	if _, ok := mpi.PayloadTypeByName(typeName); !ok {
+		return "", nil, fmt.Errorf("mpinet: payload type %s not registered (mpi.RegisterPayload)", typeName)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(v)); err != nil {
+		return "", nil, fmt.Errorf("mpinet: encode %s payload: %w", typeName, err)
+	}
+	return typeName, buf.Bytes(), nil
+}
+
+// decodePayload reconstructs a payload from the wire. Unknown type names
+// and malformed gob streams return errors, never panic.
+func decodePayload(typeName string, data []byte) (v any, err error) {
+	if typeName == "" {
+		return nil, nil
+	}
+	t, ok := mpi.PayloadTypeByName(typeName)
+	if !ok {
+		return nil, fmt.Errorf("mpinet: payload type %q not registered on this side", typeName)
+	}
+	defer func() {
+		// gob's decoder is documented to return errors, but a defensive
+		// recover keeps a decoder bug from killing the reader goroutine.
+		if r := recover(); r != nil {
+			v, err = nil, fmt.Errorf("mpinet: decode %s payload: panic: %v", typeName, r)
+		}
+	}()
+	pv := reflect.New(t)
+	if err := gob.NewDecoder(bytes.NewReader(data)).DecodeValue(pv.Elem()); err != nil {
+		return nil, fmt.Errorf("mpinet: decode %s payload: %w", typeName, err)
+	}
+	return pv.Elem().Interface(), nil
+}

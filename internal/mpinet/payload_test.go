@@ -1,0 +1,95 @@
+package mpinet
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperbal/internal/mpi"
+)
+
+type testPayload struct {
+	A int32
+	B float64
+}
+
+func init() {
+	mpi.RegisterPayload(testPayload{}, []testPayload(nil))
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	cases := []any{
+		nil,
+		int(0), int(-7), int32(42), int64(1 << 40), float64(1.5), float64(0),
+		true, false, "", "hello",
+		[]int32(nil), []int32{}, []int32{1, -2, 3},
+		[]int64{9, -9}, []float64{0.25, -1},
+		[]int{5, 6}, []byte{1, 2, 3},
+		[][]int32{{1}, {}, nil},
+		mpi.MinLoc{}, mpi.MinLoc{Key: -3, Rank: 2},
+		[]mpi.MinLoc{{Key: 1, Rank: 0}, {Key: 2, Rank: 1}},
+		testPayload{A: 7, B: 2.5},
+		[]testPayload{{A: 1}, {B: -0.5}},
+	}
+	for _, v := range cases {
+		name, data, err := encodePayload(v)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", v, err)
+		}
+		got, err := decodePayload(name, data)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", v, err)
+		}
+		if v == nil {
+			if got != nil {
+				t.Fatalf("nil payload decoded to %#v", got)
+			}
+			continue
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(v) {
+			t.Fatalf("payload %#v: type changed to %T", v, got)
+		}
+		if !payloadEqual(reflect.ValueOf(got), reflect.ValueOf(v)) {
+			t.Fatalf("payload %#v round-tripped to %#v", v, got)
+		}
+	}
+}
+
+// payloadEqual is DeepEqual except that nil and empty slices compare
+// equal at any depth — the one gob round-trip artifact, unobservable to
+// the substrate's algorithms (they only read len and elements).
+func payloadEqual(a, b reflect.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case reflect.Slice, reflect.Array:
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if !payloadEqual(a.Index(i), b.Index(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			if !payloadEqual(a.Field(i), b.Field(i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a.Interface(), b.Interface())
+	}
+}
+
+func TestPayloadUnregisteredType(t *testing.T) {
+	type private struct{ X int }
+	if _, _, err := encodePayload(private{1}); err == nil {
+		t.Fatal("encoding an unregistered type must fail")
+	}
+	if _, err := decodePayload("mpinet.noSuchType", nil); err == nil {
+		t.Fatal("decoding an unregistered type name must fail")
+	}
+}

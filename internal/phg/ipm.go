@@ -14,6 +14,10 @@ type matchBid struct {
 	Score float64
 }
 
+// matchPair is one block-local match decision, allgathered after the
+// LocalIPM phase (package-level so it can cross a network transport).
+type matchPair struct{ A, B int32 }
+
 // parallelIPM runs the candidate-round inner-product matching of §4.1.
 // All ranks return the identical match vector. With opt.LocalIPM, most
 // matching happens inside each rank's block without communication (the
@@ -173,8 +177,7 @@ func localIPM(c *mpi.Comm, h *hypergraph.Hypergraph, match []int32, lo, hi int, 
 	if maxNetSize <= 0 {
 		maxNetSize = 500
 	}
-	type pair struct{ A, B int32 }
-	var local []pair
+	var local []matchPair
 	score := make([]float64, h.NumVertices())
 	var touched []int32
 	for _, off := range rng.Perm(hi - lo) {
@@ -223,7 +226,7 @@ func localIPM(c *mpi.Comm, h *hypergraph.Hypergraph, match []int32, lo, hi int, 
 		if best >= 0 {
 			match[u] = int32(best)
 			match[best] = int32(u)
-			local = append(local, pair{int32(u), int32(best)})
+			local = append(local, matchPair{int32(u), int32(best)})
 			obsLocalMatches.Inc()
 		}
 	}

@@ -1,0 +1,14 @@
+package phg
+
+import "hyperbal/internal/mpi"
+
+// The SPMD rounds ship these payloads through the substrate; registering
+// them lets the same code run unchanged over a network transport
+// (internal/mpinet), which reconstructs payload types by name.
+func init() {
+	mpi.RegisterPayload(
+		matchBid{}, []matchBid(nil),
+		moveProposal{}, []moveProposal(nil),
+		matchPair{}, []matchPair(nil),
+	)
+}
